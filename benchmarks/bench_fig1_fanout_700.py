@@ -1,0 +1,32 @@
+"""Figure 1 — percentage of nodes viewing with < 1 % jitter vs fanout (700 kbps).
+
+Paper shape: a bell with an optimal plateau slightly above ln(n) (fanouts
+7–15 at 230 nodes); lower fanouts fail to disseminate, higher fanouts congest
+the upload caps.  The offline-viewing curve stays high for moderately large
+fanouts because the throttling queues drain after the source stops.
+"""
+
+from repro.experiments.figures import figure1_fanout_700
+
+
+def test_figure1_fanout_700(benchmark, bench_scale, bench_cache, record_figure):
+    result = benchmark.pedantic(
+        figure1_fanout_700,
+        args=(bench_scale, bench_cache),
+        iterations=1,
+        rounds=1,
+    )
+    record_figure(result)
+
+    offline = result.series_by_label("offline viewing")
+    ten_second = result.series_by_label("10s lag")
+    optimal = float(bench_scale.optimal_fanout)
+    smallest = float(min(bench_scale.fanout_grid))
+    largest = float(max(bench_scale.fanout_grid))
+
+    # Shape check 1: the optimal fanout serves (almost) everyone.
+    assert offline.y_at(optimal) >= 90.0
+    # Shape check 2: the smallest fanout is clearly worse than the optimum.
+    assert ten_second.y_at(smallest) < ten_second.y_at(optimal)
+    # Shape check 3: the largest fanout collapses for real-time lags.
+    assert ten_second.y_at(largest) < ten_second.y_at(optimal) - 30.0

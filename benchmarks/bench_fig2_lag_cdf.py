@@ -1,0 +1,48 @@
+"""Figure 2 — cumulative distribution of stream lag for various fanouts (700 kbps).
+
+Paper shape: optimal fanouts reach ~100 % of nodes after a small critical
+lag; moderately larger fanouts shift the critical lag right; oversized
+fanouts never reach most nodes within reasonable lags.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure2_lag_cdf
+
+
+def test_figure2_lag_cdf(benchmark, bench_scale, bench_cache, record_figure):
+    result = benchmark.pedantic(
+        figure2_lag_cdf,
+        args=(bench_scale, bench_cache),
+        iterations=1,
+        rounds=1,
+    )
+    record_figure(result)
+
+    largest_lag = max(bench_scale.fig2_lag_grid)
+    optimal_label = f"fanout {bench_scale.optimal_fanout}"
+    try:
+        optimal_series = result.series_by_label(optimal_label)
+    except KeyError:
+        pytest.skip(f"scale {bench_scale.name} does not plot the optimal fanout in figure 2")
+
+    # Every series is a CDF: monotone, bounded by 100.
+    for series in result.series:
+        ys = series.ys()
+        assert all(later >= earlier - 1e-9 for earlier, later in zip(ys, ys[1:]))
+        assert all(0.0 <= y <= 100.0 for y in ys)
+
+    # The optimal fanout reaches (almost) everyone within the plotted lags,
+    # and does so faster than the largest fanout in the plot.
+    assert optimal_series.y_at(largest_lag) >= 90.0
+    largest_fanout = max(bench_scale.fig2_fanouts)
+    oversized_series = result.series_by_label(f"fanout {largest_fanout}")
+    mid_lag = bench_scale.fig2_lag_grid[len(bench_scale.fig2_lag_grid) // 3]
+    assert optimal_series.y_at(mid_lag) >= oversized_series.y_at(mid_lag)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def clear_cache_after_module(bench_cache):
+    """Figures 3+ use different caps/knobs; free Figure 1/2's cached runs."""
+    yield
+    bench_cache.clear()

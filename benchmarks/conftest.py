@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper at the scale selected by
+the ``REPRO_BENCH_SCALE`` environment variable (``smoke`` / ``reduced`` /
+``paper``; default ``reduced``).  Benchmarks that analyze the same underlying
+runs (Figure 2 reuses Figure 1's, Figure 8 reuses Figure 7's) share them
+through a process-wide run cache; modules clear the cache when the next
+figure does not need their runs, to bound memory.
+
+Each benchmark also writes the regenerated table to
+``benchmarks/results/<figure>.txt`` so the series survive independently of
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import RunCache
+from repro.experiments.scale import ExperimentScale, scale_by_name
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_shared_cache = RunCache()
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The experiment scale used by every benchmark in this session."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "reduced")
+    return scale_by_name(name)
+
+
+@pytest.fixture(scope="session")
+def bench_cache() -> RunCache:
+    """Process-wide cache so consecutive figures reuse overlapping runs."""
+    return _shared_cache
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Writer that persists a figure's table under benchmarks/results/."""
+
+    def _record(result: FigureResult) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        table = result.to_table()
+        path = RESULTS_DIR / f"{result.figure_id}_{result.scale_name}.txt"
+        path.write_text(table + "\n", encoding="utf-8")
+        print(f"\n{table}\n")
+        return table
+
+    return _record

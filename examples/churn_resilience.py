@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Churn resilience study: how proactiveness determines survival.
+
+Reproduces the experiment behind Figures 7 and 8 of the paper at a small
+scale: a catastrophic failure kills a configurable fraction of the nodes
+mid-stream, and we compare how survivors fare under different view refresh
+rates X (1 = new partners every round, ∞ = fully static mesh).
+
+What to look for in the output:
+
+* with X = 1 most survivors never notice the failure (the paper reports
+  ~70 % unaffected at 20 % churn) and survivors keep decoding > 90 % of the
+  windows even under heavy churn;
+* static and slowly-refreshed meshes lose a large part of the stream, with
+  wildly varying outcomes depending on where the failures land;
+* the quality dip of affected survivors is concentrated in the few seconds
+  it takes the membership layer to stop handing out crashed nodes.
+
+Run with::
+
+    python examples/churn_resilience.py
+    python examples/churn_resilience.py --churn 0.5 --nodes 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import (
+    CatastrophicChurn,
+    GossipConfig,
+    INFINITE,
+    NetworkConfig,
+    SessionConfig,
+    StreamConfig,
+    run_session,
+)
+from repro.metrics.report import format_table
+
+
+def run_once(num_nodes: int, refresh_every: float, churn_fraction: float, seed: int):
+    """One churn experiment with the given view refresh rate X."""
+    stream = StreamConfig(
+        rate_kbps=600.0,
+        payload_bytes=1000,
+        source_packets_per_window=20,
+        fec_packets_per_window=2,
+        num_windows=80,
+    )
+    churn_time = stream.duration * 0.3
+    return run_session(
+        SessionConfig(
+            num_nodes=num_nodes,
+            seed=seed,
+            gossip=GossipConfig(fanout=7, refresh_every=refresh_every),
+            stream=stream,
+            network=NetworkConfig(upload_cap_kbps=700.0, max_backlog_seconds=10.0),
+            churn=CatastrophicChurn(time=churn_time, fraction=churn_fraction),
+            failure_detection_delay=5.0,
+            extra_time=30.0,
+        )
+    )
+
+
+def describe_refresh(value: float) -> str:
+    return "inf (static mesh)" if value == INFINITE else str(int(value))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=45, help="system size including the source")
+    parser.add_argument("--churn", type=float, default=0.2, help="fraction of nodes failing at once")
+    parser.add_argument("--seed", type=int, default=11, help="root random seed")
+    arguments = parser.parse_args()
+
+    print(
+        f"Catastrophic churn study: {arguments.churn:.0%} of {arguments.nodes} nodes fail "
+        "mid-stream; comparing view refresh rates X\n"
+    )
+
+    rows = []
+    for refresh in (1, 2, 20, INFINITE):
+        started = time.time()
+        result = run_once(arguments.nodes, refresh, arguments.churn, arguments.seed)
+        unaffected_20s = result.viewing_percentage(lag=20.0)
+        unaffected_offline = result.viewing_percentage()
+        complete_windows = result.average_complete_windows_percentage(20.0)
+        rows.append(
+            [
+                describe_refresh(refresh),
+                unaffected_20s,
+                unaffected_offline,
+                complete_windows,
+                result.delivery_ratio() * 100.0,
+            ]
+        )
+        print(
+            f"  X = {describe_refresh(refresh):>17}: {unaffected_20s:5.1f}% unaffected (20s lag), "
+            f"{complete_windows:5.1f}% windows decoded, "
+            f"{len(result.failed_nodes)} nodes killed  ({time.time() - started:.1f}s)"
+        )
+
+    print("\nSummary over surviving nodes:\n")
+    print(
+        format_table(
+            [
+                "X (refresh rate)",
+                "% unaffected (20s lag)",
+                "% unaffected (offline)",
+                "avg % complete windows",
+                "% packets delivered",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe fully dynamic mesh (X = 1) leaves the most survivors untouched and keeps the\n"
+        "window completeness above 90%, while the static mesh both concentrates load and keeps\n"
+        "pointing at dead nodes — the paper's central proactiveness finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fanout tuning study: find the window of fanouts that actually works.
+
+Reproduces the experiment behind Figures 1 and 3 of the paper at a small
+scale: sweep the fanout under a tight (700 kbps) and a loose (2000 kbps)
+upload cap and watch the "good fanout window" appear, then widen.
+
+The headline behaviour to look for in the output:
+
+* fanouts below ~ln(n) fail to reach everyone;
+* a window slightly above ln(n) serves essentially all nodes at every lag;
+* large fanouts collapse under the tight cap (proposal overhead plus
+  request concentration saturate the upload queues) but keep working under
+  the loose cap.
+
+Run with::
+
+    python examples/fanout_tuning.py            # default small scale
+    python examples/fanout_tuning.py --nodes 60 # closer to the benchmark scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import time
+
+from repro import GossipConfig, NetworkConfig, SessionConfig, StreamConfig, run_session
+from repro.metrics.quality import OFFLINE_LAG
+from repro.metrics.report import Series, format_series_table
+
+
+def run_sweep(num_nodes: int, fanouts: list, cap_kbps: float, seed: int) -> dict:
+    """Run one session per fanout; return viewing percentages per lag."""
+    stream = StreamConfig(
+        rate_kbps=600.0,
+        payload_bytes=1000,
+        source_packets_per_window=20,
+        fec_packets_per_window=2,
+        num_windows=60,
+    )
+    offline = Series(label=f"offline, {cap_kbps:.0f}kbps")
+    ten_second = Series(label=f"10s lag, {cap_kbps:.0f}kbps")
+    for fanout in fanouts:
+        started = time.time()
+        result = run_session(
+            SessionConfig(
+                num_nodes=num_nodes,
+                seed=seed,
+                gossip=GossipConfig(fanout=fanout, refresh_every=1),
+                stream=stream,
+                network=NetworkConfig(upload_cap_kbps=cap_kbps, max_backlog_seconds=10.0),
+                extra_time=30.0,
+            )
+        )
+        offline.add(fanout, result.viewing_percentage(lag=OFFLINE_LAG))
+        ten_second.add(fanout, result.viewing_percentage(lag=10.0))
+        print(
+            f"  cap {cap_kbps:5.0f} kbps  fanout {fanout:3d}  "
+            f"offline {offline.y_at(fanout):5.1f}%  10s {ten_second.y_at(fanout):5.1f}%  "
+            f"congestion drops {result.traffic.total_congestion_drops():6d}  "
+            f"({time.time() - started:.1f}s)"
+        )
+    return {"offline": offline, "10s": ten_second}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=40, help="system size including the source")
+    parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    arguments = parser.parse_args()
+
+    threshold = math.log(arguments.nodes)
+    fanouts = [2, 4, 6, 8, 12, 20, min(30, arguments.nodes - 2)]
+    print(f"System size n = {arguments.nodes}; ln(n) = {threshold:.1f}")
+    print(f"Sweeping fanouts {fanouts} under 700 and 2000 kbps caps\n")
+
+    tight = run_sweep(arguments.nodes, fanouts, cap_kbps=700.0, seed=arguments.seed)
+    loose = run_sweep(arguments.nodes, fanouts, cap_kbps=2000.0, seed=arguments.seed)
+
+    print("\nSummary (percentage of nodes viewing with <1% jitter):\n")
+    print(
+        format_series_table(
+            [tight["offline"], tight["10s"], loose["offline"], loose["10s"]],
+            x_label="fanout",
+        )
+    )
+    best = tight["10s"].argmax_x()
+    print(
+        f"\nBest fanout under the 700 kbps cap: {best:.0f} "
+        f"(ln(n) + {best - threshold:.1f}) — matching the paper's observation that "
+        "the sweet spot sits slightly above ln(n) and degrades for larger fanouts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Heterogeneous upload capacities: who carries the stream?
+
+The paper caps every PlanetLab node at the same rate and observes (Figure 4)
+that the *used* bandwidth is nonetheless heterogeneous — well-connected nodes
+win the proposal race and serve more — and that the heterogeneity grows with
+spare capacity.  This example goes one step further than the paper and also
+runs a genuinely heterogeneous capacity distribution (a "cable/DSL mix"),
+showing how the gossip protocol naturally shifts load onto the nodes that can
+afford it while the stream stays viewable.
+
+Run with::
+
+    python examples/heterogeneous_bandwidth.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import GossipConfig, NetworkConfig, SessionConfig, StreamConfig, run_session
+from repro.metrics.report import format_table
+
+
+def build_stream() -> StreamConfig:
+    return StreamConfig(
+        rate_kbps=600.0,
+        payload_bytes=1000,
+        source_packets_per_window=20,
+        fec_packets_per_window=2,
+        num_windows=60,
+    )
+
+
+def cable_dsl_mix(num_nodes: int) -> dict:
+    """A two-class capacity distribution: 30% strong peers, 70% weak peers.
+
+    Strong peers get 2000 kbps of upload, weak peers 500 kbps — the weak class
+    alone cannot sustain the 600 kbps stream, so the system only works if the
+    strong class picks up the slack.
+    """
+    caps = {}
+    for node_id in range(1, num_nodes):
+        caps[node_id] = 2000.0 if node_id % 10 < 3 else 500.0
+    return caps
+
+
+def run_homogeneous(num_nodes: int, cap_kbps: float, seed: int):
+    return run_session(
+        SessionConfig(
+            num_nodes=num_nodes,
+            seed=seed,
+            gossip=GossipConfig(fanout=7),
+            stream=build_stream(),
+            network=NetworkConfig(upload_cap_kbps=cap_kbps, max_backlog_seconds=10.0),
+            extra_time=30.0,
+        )
+    )
+
+
+def run_heterogeneous(num_nodes: int, seed: int):
+    caps = cable_dsl_mix(num_nodes)
+    return run_session(
+        SessionConfig(
+            num_nodes=num_nodes,
+            seed=seed,
+            gossip=GossipConfig(fanout=7),
+            stream=build_stream(),
+            network=NetworkConfig(
+                upload_cap_kbps=700.0,
+                per_node_caps_kbps=caps,
+                max_backlog_seconds=10.0,
+            ),
+            extra_time=30.0,
+        )
+    ), caps
+
+
+def summarize(label: str, result, caps=None) -> list:
+    usage = result.bandwidth_usage()
+    per_node = usage.per_node()
+    if caps:
+        strong = [kbps for node, kbps in per_node.items() if caps.get(node, 0) >= 2000.0]
+        weak = [kbps for node, kbps in per_node.items() if caps.get(node, 0) < 2000.0]
+        strong_mean = sum(strong) / len(strong) if strong else 0.0
+        weak_mean = sum(weak) / len(weak) if weak else 0.0
+    else:
+        strong_mean = weak_mean = usage.mean_kbps()
+    return [
+        label,
+        result.viewing_percentage(lag=10.0),
+        result.viewing_percentage(),
+        usage.mean_kbps(),
+        usage.max_kbps(),
+        usage.heterogeneity(),
+        strong_mean,
+        weak_mean,
+    ]
+
+
+def main() -> None:
+    num_nodes = 40
+    seed = 31
+    print(f"Comparing capacity distributions over {num_nodes} nodes (600 kbps stream, fanout 7)\n")
+
+    rows = []
+    for label, cap in [("homogeneous 700 kbps", 700.0), ("homogeneous 2000 kbps", 2000.0)]:
+        started = time.time()
+        result = run_homogeneous(num_nodes, cap, seed)
+        rows.append(summarize(label, result))
+        print(f"  {label:<24} done in {time.time() - started:.1f}s")
+
+    started = time.time()
+    heterogeneous_result, caps = run_heterogeneous(num_nodes, seed)
+    rows.append(summarize("cable/DSL mix (2000/500)", heterogeneous_result, caps))
+    print(f"  {'cable/DSL mix (2000/500)':<24} done in {time.time() - started:.1f}s\n")
+
+    print(
+        format_table(
+            [
+                "capacity distribution",
+                "% view @10s",
+                "% view offline",
+                "mean up kbps",
+                "max up kbps",
+                "CV",
+                "strong-class mean",
+                "weak-class mean",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nUnder the saturated homogeneous cap the contribution is nearly uniform; with spare\n"
+        "capacity (2000 kbps) or an explicit strong/weak mix, the well-provisioned nodes end up\n"
+        "carrying a disproportionate share of the serve traffic — exactly the Figure 4 effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

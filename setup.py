@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that offline environments without the ``wheel`` package can still do an
+editable install via ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Stretching Gossip with Live Streaming' (Frey et al., DSN 2009)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

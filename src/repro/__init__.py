@@ -1,0 +1,58 @@
+"""Reproduction of "Stretching Gossip with Live Streaming" (Frey et al., DSN 2009).
+
+A gossip-based live streaming system — three-phase propose / request / serve
+dissemination with infect-and-die id propagation — running over a simulated
+bandwidth-constrained wide-area network, together with the experiment harness
+that regenerates every figure of the paper's evaluation.
+
+Top-level convenience imports::
+
+    from repro import (
+        GossipConfig, SessionConfig, StreamingSession, run_session,
+        StreamConfig, NetworkConfig, CatastrophicChurn, INFINITE,
+    )
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured comparison.
+"""
+
+from repro.core.config import GossipConfig, MessageSizeModel
+from repro.core.node import GossipNode, NodeStats
+from repro.core.session import SessionConfig, SessionResult, StreamingSession, run_session
+from repro.membership.churn import CatastrophicChurn, NoChurn, StaggeredChurn
+from repro.membership.partners import INFINITE, recommended_fanout
+from repro.metrics.quality import OFFLINE_LAG, StreamQualityAnalyzer
+from repro.network.bandwidth import BandwidthCap
+from repro.network.transport import Network, NetworkConfig
+from repro.simulation.engine import Simulator
+from repro.streaming.fec import ReedSolomonCode, WindowCodec
+from repro.streaming.schedule import StreamConfig, StreamSchedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandwidthCap",
+    "CatastrophicChurn",
+    "GossipConfig",
+    "GossipNode",
+    "INFINITE",
+    "MessageSizeModel",
+    "Network",
+    "NetworkConfig",
+    "NoChurn",
+    "NodeStats",
+    "OFFLINE_LAG",
+    "ReedSolomonCode",
+    "SessionConfig",
+    "SessionResult",
+    "Simulator",
+    "StaggeredChurn",
+    "StreamConfig",
+    "StreamQualityAnalyzer",
+    "StreamSchedule",
+    "StreamingSession",
+    "WindowCodec",
+    "recommended_fanout",
+    "run_session",
+    "__version__",
+]

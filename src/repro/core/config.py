@@ -1,0 +1,156 @@
+"""Configuration of the gossip protocol.
+
+Every knob the paper discusses is a field of :class:`GossipConfig`:
+
+* ``fanout`` — partners contacted per gossip period (the paper sweeps 4–100);
+* ``gossip_period`` — 200 ms in all of the paper's experiments;
+* ``refresh_every`` — the view refresh rate ``X`` (1 = new partners every
+  round, :data:`~repro.membership.partners.INFINITE` = static mesh);
+* ``feed_me_every`` — the request rate ``Y`` (∞ = disabled, the default);
+* ``retransmit_timeout`` / ``max_request_attempts`` — the retransmission
+  mechanism (lines 14–15 and 25 of Algorithm 1, ``K`` attempts per packet).
+  The paper does not give its retransmission period; the default of 2 s
+  (ten gossip periods) is large enough not to trigger duplicate serves for
+  packets that are merely queued behind a throttled upload, which matters
+  because duplicate serves amplify congestion exactly when the system is
+  already loaded;
+* ``source_fanout`` — the source proposes each packet to 7 nodes in all of
+  the paper's experiments.
+
+:class:`MessageSizeModel` translates protocol messages into wire bytes so the
+upload limiter can charge them; the paper never itemizes header sizes, so we
+use conventional UDP/IPv4 figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.membership.partners import INFINITE
+
+
+@dataclass(frozen=True)
+class MessageSizeModel:
+    """Wire-size accounting for protocol messages.
+
+    Attributes
+    ----------
+    header_bytes:
+        Fixed per-datagram overhead (IP + UDP + application header).
+    id_bytes:
+        Bytes needed to name one packet id inside PROPOSE / REQUEST messages.
+    per_packet_overhead_bytes:
+        Application framing added to each stream packet inside a SERVE.
+    """
+
+    header_bytes: int = 40
+    id_bytes: int = 8
+    per_packet_overhead_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.header_bytes < 1 or self.id_bytes < 1 or self.per_packet_overhead_bytes < 0:
+            raise ValueError("message size parameters must be positive")
+
+    def propose_size(self, num_ids: int) -> int:
+        """Size of a PROPOSE datagram advertising ``num_ids`` packet ids."""
+        return self.header_bytes + num_ids * self.id_bytes
+
+    def request_size(self, num_ids: int) -> int:
+        """Size of a REQUEST datagram asking for ``num_ids`` packet ids."""
+        return self.header_bytes + num_ids * self.id_bytes
+
+    def serve_size(self, payload_bytes: int) -> int:
+        """Size of a SERVE datagram carrying one stream packet."""
+        return self.header_bytes + self.per_packet_overhead_bytes + payload_bytes
+
+    def feed_me_size(self) -> int:
+        """Size of a FEED_ME datagram (header only)."""
+        return self.header_bytes
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """All protocol-level knobs of Algorithm 1.
+
+    The defaults reproduce the paper's baseline configuration: fanout 7,
+    200 ms gossip period, partner refresh every round (``X = 1``), feed-me
+    disabled (``Y = ∞``), retransmission with two attempts per packet, and a
+    source fanout of 7.
+    """
+
+    fanout: int = 7
+    gossip_period: float = 0.2
+    refresh_every: float = 1
+    feed_me_every: float = INFINITE
+    retransmit_timeout: float = 2.0
+    max_request_attempts: int = 2
+    source_fanout: int = 7
+    desynchronize_rounds: bool = True
+    propose_when_empty: bool = False
+    sizes: MessageSizeModel = field(default_factory=MessageSizeModel)
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout!r}")
+        if self.gossip_period <= 0.0:
+            raise ValueError(f"gossip_period must be positive, got {self.gossip_period!r}")
+        if self.refresh_every != INFINITE and (
+            self.refresh_every < 1 or int(self.refresh_every) != self.refresh_every
+        ):
+            raise ValueError(
+                f"refresh_every must be a positive integer or INFINITE, got {self.refresh_every!r}"
+            )
+        if self.feed_me_every != INFINITE and (
+            self.feed_me_every < 1 or int(self.feed_me_every) != self.feed_me_every
+        ):
+            raise ValueError(
+                f"feed_me_every must be a positive integer or INFINITE, got {self.feed_me_every!r}"
+            )
+        if self.retransmit_timeout <= 0.0:
+            raise ValueError(
+                f"retransmit_timeout must be positive, got {self.retransmit_timeout!r}"
+            )
+        if self.max_request_attempts < 1:
+            raise ValueError(
+                f"max_request_attempts must be >= 1, got {self.max_request_attempts!r}"
+            )
+        if self.source_fanout < 1:
+            raise ValueError(f"source_fanout must be >= 1, got {self.source_fanout!r}")
+
+    # ------------------------------------------------------------------
+    # Convenience constructors and helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_baseline(cls, fanout: int = 7) -> "GossipConfig":
+        """The configuration used in most of the paper's experiments."""
+        return cls(fanout=fanout)
+
+    def with_fanout(self, fanout: int) -> "GossipConfig":
+        """A copy of this configuration with a different fanout."""
+        return self._replace(fanout=fanout)
+
+    def with_refresh_every(self, refresh_every: float) -> "GossipConfig":
+        """A copy with a different view refresh rate ``X``."""
+        return self._replace(refresh_every=refresh_every)
+
+    def with_feed_me_every(self, feed_me_every: float) -> "GossipConfig":
+        """A copy with a different feed-me request rate ``Y``."""
+        return self._replace(feed_me_every=feed_me_every)
+
+    def _replace(self, **changes) -> "GossipConfig":
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+    @property
+    def retransmission_enabled(self) -> bool:
+        """Whether packets may be requested more than once."""
+        return self.max_request_attempts > 1
+
+    @staticmethod
+    def theoretical_minimum_fanout(system_size: int) -> float:
+        """``ln(n)``: the reliability threshold for infect-and-die gossip."""
+        if system_size < 2:
+            raise ValueError(f"system size must be >= 2, got {system_size!r}")
+        return math.log(system_size)

@@ -1,0 +1,96 @@
+"""Protocol message payloads.
+
+Algorithm 1 exchanges three message types plus the optional feed-me request
+used by the ``Y`` proactiveness mechanism:
+
+* ``[PROPOSE, event ids]`` — phase 1, push of packet ids;
+* ``[REQUEST, wanted ids]`` — phase 2, pull of missing packets;
+* ``[SERVE, events]`` — phase 3, push of the actual packet payloads;
+* ``[FEED_ME]`` — a request to be inserted into the receiver's partner set.
+
+The network layer only sees opaque payloads with a ``kind`` string and a wire
+size; these dataclasses are the typed payloads the protocol puts inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.streaming.packets import PacketId
+
+PROPOSE = "propose"
+"""Message kind tag for phase-1 id announcements."""
+
+REQUEST = "request"
+"""Message kind tag for phase-2 pulls."""
+
+SERVE = "serve"
+"""Message kind tag for phase-3 payload pushes."""
+
+FEED_ME = "feed-me"
+"""Message kind tag for the Y-mechanism view-insertion requests."""
+
+
+@dataclass(frozen=True)
+class ProposePayload:
+    """Phase 1: the sender advertises packet ids it can serve."""
+
+    packet_ids: Tuple[PacketId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.packet_ids:
+            raise ValueError("a PROPOSE must advertise at least one packet id")
+
+    def __len__(self) -> int:
+        return len(self.packet_ids)
+
+
+@dataclass(frozen=True)
+class RequestPayload:
+    """Phase 2: the sender pulls the packets it is missing."""
+
+    packet_ids: Tuple[PacketId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.packet_ids:
+            raise ValueError("a REQUEST must ask for at least one packet id")
+
+    def __len__(self) -> int:
+        return len(self.packet_ids)
+
+
+@dataclass(frozen=True)
+class ServedPacket:
+    """One stream packet carried inside a SERVE message.
+
+    The simulator normally carries no payload bytes (``payload is None``) and
+    only tracks sizes; end-to-end examples using the real FEC codec set
+    ``payload`` to the encoded shard.
+    """
+
+    packet_id: PacketId
+    size_bytes: int
+    payload: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"served packet size must be positive, got {self.size_bytes!r}")
+
+
+@dataclass(frozen=True)
+class ServePayload:
+    """Phase 3: the actual packet content."""
+
+    packet: ServedPacket
+
+
+@dataclass(frozen=True)
+class FeedMePayload:
+    """Ask the receiver to insert the sender into its partner view."""
+
+    requester: int
+
+    def __post_init__(self) -> None:
+        if self.requester < 0:
+            raise ValueError("requester id must be non-negative")

@@ -1,0 +1,392 @@
+"""The gossip node engine: Algorithm 1, one instance per node.
+
+A :class:`GossipNode` owns the per-node protocol state and timers and talks
+to three substrates:
+
+* the **network** (:class:`repro.network.Network`) to send PROPOSE / REQUEST /
+  SERVE / FEED_ME datagrams and to receive them via :meth:`on_message`;
+* the **membership directory** through its :class:`PartnerSelector`, which
+  implements the fanout and the view refresh rate ``X``;
+* the **stream schedule**, used to look up packet sizes when serving.
+
+The same class plays both roles of the paper's deployment: ordinary nodes
+(driven by their gossip timer) and the source (whose :meth:`publish` is
+called by the :class:`repro.streaming.StreamEmitter` for every packet, as
+``publish(e)`` in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Dict, List, Optional
+
+from repro.membership.directory import MembershipDirectory
+from repro.membership.partners import INFINITE, PartnerSelector
+from repro.network.message import Message, NodeId
+from repro.network.transport import Network
+from repro.simulation.engine import Simulator
+from repro.simulation.timers import PeriodicTimer, Timer
+from repro.streaming.packets import PacketDescriptor, PacketId
+from repro.streaming.schedule import StreamSchedule
+
+from repro.core.config import GossipConfig
+from repro.core.messages import (
+    FEED_ME,
+    PROPOSE,
+    REQUEST,
+    SERVE,
+    FeedMePayload,
+    ProposePayload,
+    RequestPayload,
+    ServePayload,
+    ServedPacket,
+)
+from repro.core.state import NodeState, PendingRequest
+
+DeliveryListener = Callable[[NodeId, PacketId, float], None]
+"""Callback invoked on every first-time packet delivery (node, packet, time)."""
+
+
+@dataclass
+class NodeStats:
+    """Protocol-level counters of one node (all monotonically increasing)."""
+
+    proposes_sent: int = 0
+    proposals_received: int = 0
+    requests_sent: int = 0
+    requests_received: int = 0
+    serves_sent: int = 0
+    packets_served: int = 0
+    retransmission_requests_sent: int = 0
+    feed_me_sent: int = 0
+    feed_me_received: int = 0
+    duplicate_serves_received: int = 0
+    gossip_rounds: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dictionary (handy for reports and tests)."""
+        return {
+            "proposes_sent": self.proposes_sent,
+            "proposals_received": self.proposals_received,
+            "requests_sent": self.requests_sent,
+            "requests_received": self.requests_received,
+            "serves_sent": self.serves_sent,
+            "packets_served": self.packets_served,
+            "retransmission_requests_sent": self.retransmission_requests_sent,
+            "feed_me_sent": self.feed_me_sent,
+            "feed_me_received": self.feed_me_received,
+            "duplicate_serves_received": self.duplicate_serves_received,
+            "gossip_rounds": self.gossip_rounds,
+        }
+
+
+class GossipNode:
+    """One participant of the gossip-based streaming system.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identifier (must be registered on the network).
+    simulator / network / directory / schedule:
+        The substrates the node runs on.
+    config:
+        Protocol knobs (fanout, period, X, Y, retransmission, sizes).
+    delivery_listener:
+        Optional callback invoked at every first-time packet delivery; the
+        metrics layer uses it to build the delivery log.
+    is_source:
+        Whether this node is the stream source.  The source delivers packets
+        through :meth:`publish` and proposes each one immediately to
+        ``config.source_fanout`` random nodes.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        simulator: Simulator,
+        network: Network,
+        directory: MembershipDirectory,
+        schedule: StreamSchedule,
+        config: GossipConfig,
+        delivery_listener: Optional[DeliveryListener] = None,
+        is_source: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.is_source = is_source
+        self.config = config
+        self._simulator = simulator
+        self._network = network
+        self._directory = directory
+        self._schedule = schedule
+        self._delivery_listener = delivery_listener
+        self.state = NodeState()
+        self.stats = NodeStats()
+        self._alive = True
+
+        self._partner_rng = simulator.rng.node_stream("partners", node_id)
+        self._partners = PartnerSelector(
+            node_id=node_id,
+            directory=directory,
+            fanout=config.fanout,
+            refresh_every=config.refresh_every,
+            rng=self._partner_rng,
+        )
+        # The source proposes every packet to ``source_fanout`` nodes; its
+        # target set obeys the same view refresh rate X as everybody else's
+        # (Algorithm 1 routes publish() through the same selectNodes()).
+        self._source_selector: Optional[PartnerSelector] = None
+        self._source_round_index = -1
+        self._source_targets: List[NodeId] = []
+        if is_source:
+            self._source_selector = PartnerSelector(
+                node_id=node_id,
+                directory=directory,
+                fanout=config.source_fanout,
+                refresh_every=config.refresh_every,
+                rng=simulator.rng.node_stream("source-targets", node_id),
+            )
+
+        start_delay: Optional[float]
+        if config.desynchronize_rounds:
+            start_delay = simulator.rng.node_stream("round-phase", node_id).uniform(
+                0.0, config.gossip_period
+            )
+        else:
+            start_delay = config.gossip_period
+        self._gossip_timer = PeriodicTimer(
+            simulator, config.gossip_period, self._on_gossip_round, start_delay=start_delay
+        )
+
+        self._feed_me_timer: Optional[PeriodicTimer] = None
+        if config.feed_me_every != INFINITE:
+            feed_me_period = config.feed_me_every * config.gossip_period
+            self._feed_me_timer = PeriodicTimer(
+                simulator, feed_me_period, self._on_feed_me_round, start_delay=feed_me_period
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the node is still running (it has not been crashed)."""
+        return self._alive
+
+    @property
+    def partners(self) -> PartnerSelector:
+        """This node's partner selector (exposed for tests and experiments)."""
+        return self._partners
+
+    def start(self) -> None:
+        """Start the node's timers.  Must be called once per experiment."""
+        self._gossip_timer.start()
+        if self._feed_me_timer is not None:
+            self._feed_me_timer.start()
+
+    def fail(self) -> None:
+        """Crash the node: stop all activity immediately (churn)."""
+        self._alive = False
+        self._gossip_timer.stop()
+        if self._feed_me_timer is not None:
+            self._feed_me_timer.stop()
+        self.state.cancel_all_pending()
+
+    # ------------------------------------------------------------------
+    # Source role
+    # ------------------------------------------------------------------
+    def publish(self, descriptor: PacketDescriptor) -> None:
+        """Publish one stream packet (Algorithm 1, ``publish(e)``).
+
+        The packet is delivered locally and its id proposed immediately to
+        ``source_fanout`` uniformly random nodes.
+        """
+        if not self._alive:
+            return
+        now = self._simulator.now
+        self._deliver(descriptor.packet_id, now)
+        targets = self._pick_source_targets(now)
+        if not targets:
+            return
+        payload = ProposePayload(packet_ids=(descriptor.packet_id,))
+        size = self.config.sizes.propose_size(1)
+        for target in targets:
+            self._send(target, PROPOSE, size, payload)
+        self.stats.proposes_sent += len(targets)
+
+    def _pick_source_targets(self, now: float) -> List[NodeId]:
+        if self._source_selector is None:
+            return []
+        round_index = int(now / self.config.gossip_period)
+        if round_index != self._source_round_index:
+            self._source_round_index = round_index
+            self._source_targets = self._source_selector.partners_for_round(now)
+        return list(self._source_targets)
+
+    # ------------------------------------------------------------------
+    # Gossip round (phase 1: push ids)
+    # ------------------------------------------------------------------
+    def _on_gossip_round(self) -> None:
+        if not self._alive:
+            return
+        now = self._simulator.now
+        self.stats.gossip_rounds += 1
+        partners = self._partners.partners_for_round(now)
+        packet_ids = self.state.drain_proposals()
+        if not packet_ids and not self.config.propose_when_empty:
+            return
+        if not partners:
+            return
+        if packet_ids:
+            payload = ProposePayload(packet_ids=tuple(packet_ids))
+            size = self.config.sizes.propose_size(len(packet_ids))
+        else:
+            payload = None
+            size = self.config.sizes.propose_size(0)
+        for target in partners:
+            if payload is None:
+                continue
+            self._send(target, PROPOSE, size, payload)
+            self.stats.proposes_sent += 1
+
+    # ------------------------------------------------------------------
+    # Feed-me round (the Y mechanism, sending side)
+    # ------------------------------------------------------------------
+    def _on_feed_me_round(self) -> None:
+        if not self._alive:
+            return
+        now = self._simulator.now
+        targets = self._partners.pick_feed_me_targets(now)
+        payload = FeedMePayload(requester=self.node_id)
+        size = self.config.sizes.feed_me_size()
+        for target in targets:
+            self._send(target, FEED_ME, size, payload)
+            self.stats.feed_me_sent += 1
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        """Entry point called by the network when a datagram is delivered."""
+        if not self._alive:
+            return
+        kind = message.kind
+        if kind == PROPOSE:
+            self._handle_propose(message.sender, message.payload)
+        elif kind == REQUEST:
+            self._handle_request(message.sender, message.payload)
+        elif kind == SERVE:
+            self._handle_serve(message.sender, message.payload)
+        elif kind == FEED_ME:
+            self._handle_feed_me(message.payload)
+        else:
+            raise ValueError(f"node {self.node_id} received unknown message kind {kind!r}")
+
+    # Phase 2: request missing packets ---------------------------------
+    def _handle_propose(self, sender: NodeId, payload: ProposePayload) -> None:
+        self.stats.proposals_received += 1
+        wanted: List[PacketId] = []
+        for packet_id in payload.packet_ids:
+            if self.state.has_delivered(packet_id):
+                continue
+            if self.state.never_requested(packet_id):
+                wanted.append(packet_id)
+        if wanted:
+            for packet_id in wanted:
+                self.state.record_request(packet_id)
+            self._send_request(sender, wanted)
+
+        if self.config.retransmission_enabled:
+            self._arm_retransmission(sender, payload.packet_ids)
+
+    def _send_request(self, proposer: NodeId, packet_ids: List[PacketId]) -> None:
+        payload = RequestPayload(packet_ids=tuple(packet_ids))
+        size = self.config.sizes.request_size(len(packet_ids))
+        self._send(proposer, REQUEST, size, payload)
+        self.stats.requests_sent += 1
+
+    def _arm_retransmission(self, proposer: NodeId, packet_ids: tuple) -> None:
+        missing = self.state.missing_from(packet_ids)
+        retryable = [
+            packet_id
+            for packet_id in missing
+            if self.state.may_request_again(packet_id, self.config.max_request_attempts)
+        ]
+        if not retryable:
+            return
+        pending = PendingRequest(proposer=proposer, packet_ids=tuple(packet_ids))
+        timer = Timer(self._simulator, partial(self._on_retransmit_timeout, pending))
+        pending.timer = timer
+        timer.arm(self.config.retransmit_timeout)
+        self.state.add_pending(pending)
+
+    def _on_retransmit_timeout(self, pending: PendingRequest) -> None:
+        self.state.remove_pending(pending)
+        if not self._alive:
+            return
+        missing = [
+            packet_id
+            for packet_id in self.state.missing_from(pending.packet_ids)
+            if self.state.may_request_again(packet_id, self.config.max_request_attempts)
+        ]
+        if not missing:
+            return
+        for packet_id in missing:
+            self.state.record_request(packet_id)
+        self._send_request(pending.proposer, missing)
+        self.stats.retransmission_requests_sent += 1
+        # Another retry may still be allowed for some of these packets; keep
+        # a timer armed so the node eventually exhausts its K attempts.
+        self._arm_retransmission(pending.proposer, pending.packet_ids)
+
+    # Phase 3: serve requested packets ----------------------------------
+    def _handle_request(self, sender: NodeId, payload: RequestPayload) -> None:
+        self.stats.requests_received += 1
+        for packet_id in payload.packet_ids:
+            if not self.state.has_delivered(packet_id):
+                continue
+            descriptor = self._schedule.packet(packet_id)
+            served = ServedPacket(packet_id=packet_id, size_bytes=descriptor.size_bytes)
+            size = self.config.sizes.serve_size(descriptor.size_bytes)
+            self._send(sender, SERVE, size, ServePayload(packet=served))
+            self.stats.serves_sent += 1
+            self.stats.packets_served += 1
+
+    def _handle_serve(self, sender: NodeId, payload: ServePayload) -> None:
+        packet = payload.packet
+        now = self._simulator.now
+        if self.state.has_delivered(packet.packet_id):
+            self.stats.duplicate_serves_received += 1
+            return
+        self._deliver(packet.packet_id, now)
+        self.state.queue_for_proposal(packet.packet_id)
+
+    def _handle_feed_me(self, payload: FeedMePayload) -> None:
+        self.stats.feed_me_received += 1
+        self._partners.insert_requester(payload.requester, self._simulator.now)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _deliver(self, packet_id: PacketId, time: float) -> None:
+        if not self.state.deliver(packet_id, time):
+            return
+        if self._delivery_listener is not None:
+            self._delivery_listener(self.node_id, packet_id, time)
+
+    def _send(self, receiver: NodeId, kind: str, size_bytes: int, payload: object) -> None:
+        message = Message(
+            sender=self.node_id,
+            receiver=receiver,
+            kind=kind,
+            size_bytes=size_bytes,
+            payload=payload,
+        )
+        self._network.send(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        role = "source" if self.is_source else "node"
+        return (
+            f"GossipNode({role} {self.node_id}, delivered={self.state.delivered_count}, "
+            f"alive={self._alive})"
+        )

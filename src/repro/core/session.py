@@ -1,0 +1,305 @@
+"""High-level API: build and run one gossip streaming session.
+
+A *session* is one complete experiment of the paper: one source streaming to
+``n - 1`` receivers over a bandwidth-constrained network, with a given gossip
+configuration, for a given stream length, optionally hit by churn.  It wires
+every substrate together:
+
+* a :class:`~repro.simulation.Simulator` seeded for reproducibility;
+* a :class:`~repro.network.Network` with upload caps, latencies and loss;
+* a :class:`~repro.membership.MembershipDirectory` plus per-node
+  :class:`~repro.membership.PartnerSelector`;
+* one :class:`~repro.core.node.GossipNode` per participant and a
+  :class:`~repro.streaming.StreamEmitter` driving the source;
+* a :class:`~repro.metrics.DeliveryLog` and traffic statistics feeding the
+  quality / lag / bandwidth analyzers.
+
+Typical use::
+
+    config = SessionConfig(num_nodes=60, seed=3,
+                           gossip=GossipConfig(fanout=7),
+                           network=NetworkConfig(upload_cap_kbps=700))
+    result = StreamingSession(config).run()
+    print(result.viewing_percentage(lag=10.0))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.membership.churn import ChurnInjector, ChurnSchedule
+from repro.membership.directory import MembershipDirectory
+from repro.metrics.bandwidth import BandwidthUsage
+from repro.metrics.delivery import DeliveryLog
+from repro.metrics.quality import OFFLINE_LAG, StreamQualityAnalyzer
+from repro.network.bandwidth import BandwidthCap
+from repro.network.message import NodeId
+from repro.network.stats import TrafficStats
+from repro.network.transport import Network, NetworkConfig
+from repro.simulation.engine import Simulator
+from repro.streaming.schedule import StreamConfig, StreamSchedule
+from repro.streaming.source import StreamEmitter
+
+from repro.core.config import GossipConfig
+from repro.core.node import GossipNode, NodeStats
+
+
+@dataclass
+class SessionConfig:
+    """Everything needed to run one streaming session.
+
+    Attributes
+    ----------
+    num_nodes:
+        Total number of nodes including the source (the paper uses 230).
+    seed:
+        Root seed; two sessions with equal configs and seeds are identical.
+    gossip:
+        Protocol knobs (fanout, period, X, Y, retransmission).
+    stream:
+        Stream rate, packet size, FEC window layout and length.
+    network:
+        Upload caps, latency model and random loss.
+    source_uncapped:
+        Whether the source's upload is unlimited.  The source must serve
+        ``source_fanout`` full copies of the stream, which no 700 kbps cap
+        can sustain; the paper's source is a well-provisioned node, so this
+        defaults to ``True``.
+    churn:
+        Optional churn schedule (e.g. :class:`CatastrophicChurn`).
+    failure_detection_delay:
+        Seconds before crashed nodes stop being selected as partners.
+    extra_time:
+        Simulated seconds to keep running after the last packet is
+        published, letting throttled queues drain (this is what makes
+        "offline viewing" recover for moderate fanouts, as in Figure 1).
+    """
+
+    num_nodes: int = 60
+    seed: int = 1
+    gossip: GossipConfig = field(default_factory=GossipConfig)
+    stream: StreamConfig = field(default_factory=StreamConfig.scaled_down)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    source_uncapped: bool = True
+    churn: Optional[ChurnSchedule] = None
+    failure_detection_delay: float = 5.0
+    extra_time: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError(f"a session needs at least 2 nodes, got {self.num_nodes!r}")
+        if self.extra_time < 0.0:
+            raise ValueError(f"extra_time must be >= 0, got {self.extra_time!r}")
+        if self.failure_detection_delay < 0.0:
+            raise ValueError(
+                f"failure_detection_delay must be >= 0, got {self.failure_detection_delay!r}"
+            )
+
+    @property
+    def source_id(self) -> NodeId:
+        """The source is always node 0."""
+        return 0
+
+    def receiver_ids(self) -> List[NodeId]:
+        """Ids of all non-source nodes."""
+        return list(range(1, self.num_nodes))
+
+
+@dataclass
+class SessionResult:
+    """Everything measured during one session."""
+
+    config: SessionConfig
+    schedule: StreamSchedule
+    deliveries: DeliveryLog
+    traffic: TrafficStats
+    node_stats: Dict[NodeId, NodeStats]
+    failed_nodes: List[NodeId]
+    events_processed: int
+    end_time: float
+
+    _quality_cache: Dict[str, StreamQualityAnalyzer] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Node groups
+    # ------------------------------------------------------------------
+    @property
+    def source_id(self) -> NodeId:
+        """The source node id."""
+        return self.config.source_id
+
+    def receivers(self) -> List[NodeId]:
+        """All non-source nodes, including any that crashed."""
+        return self.config.receiver_ids()
+
+    def survivors(self) -> List[NodeId]:
+        """Non-source nodes that did not crash during the run."""
+        failed = set(self.failed_nodes)
+        return [node_id for node_id in self.receivers() if node_id not in failed]
+
+    # ------------------------------------------------------------------
+    # Analyzers
+    # ------------------------------------------------------------------
+    def quality(self, survivors_only: bool = True) -> StreamQualityAnalyzer:
+        """Quality analyzer over survivors (default) or all receivers."""
+        key = "survivors" if survivors_only else "receivers"
+        cached = self._quality_cache.get(key)
+        if cached is None:
+            nodes = self.survivors() if survivors_only else self.receivers()
+            cached = StreamQualityAnalyzer(self.schedule, self.deliveries, nodes)
+            self._quality_cache[key] = cached
+        return cached
+
+    def bandwidth_usage(self, include_source: bool = False) -> BandwidthUsage:
+        """Per-node upload usage averaged over the whole run.
+
+        The divisor is the full simulated duration (stream plus drain time),
+        so a node that saturates its upload limiter for the entire run
+        reports at most its cap — matching what the paper's Figure 4 plots.
+        """
+        nodes = self.receivers() if not include_source else [self.source_id] + self.receivers()
+        duration = self.end_time if self.end_time > 0.0 else self.schedule.config.duration
+        return BandwidthUsage(self.traffic, duration, nodes)
+
+    # ------------------------------------------------------------------
+    # Headline numbers (used by figures, examples and tests)
+    # ------------------------------------------------------------------
+    def viewing_percentage(
+        self,
+        lag: float = OFFLINE_LAG,
+        max_jitter: float = 0.01,
+        survivors_only: bool = True,
+    ) -> float:
+        """Percentage of nodes viewing the stream with ≤ ``max_jitter`` at ``lag``."""
+        return self.quality(survivors_only).viewing_ratio(lag, max_jitter) * 100.0
+
+    def average_complete_windows_percentage(
+        self,
+        lag: float,
+        survivors_only: bool = True,
+    ) -> float:
+        """Average percentage of decodable windows across nodes (Figure 8)."""
+        return self.quality(survivors_only).average_complete_window_ratio(lag) * 100.0
+
+    def delivery_ratio(self) -> float:
+        """Fraction of (survivor, packet) pairs that were delivered."""
+        survivors = self.survivors()
+        if not survivors:
+            return 0.0
+        total = len(survivors) * self.schedule.num_packets
+        delivered = sum(self.deliveries.packets_delivered(node_id) for node_id in survivors)
+        return delivered / total
+
+
+class StreamingSession:
+    """Builds and runs one gossip streaming experiment."""
+
+    def __init__(self, config: SessionConfig) -> None:
+        self.config = config
+        self._built = False
+        self.simulator: Optional[Simulator] = None
+        self.network: Optional[Network] = None
+        self.directory: Optional[MembershipDirectory] = None
+        self.schedule: Optional[StreamSchedule] = None
+        self.nodes: Dict[NodeId, GossipNode] = {}
+        self.emitter: Optional[StreamEmitter] = None
+        self.deliveries = DeliveryLog()
+        self._churn_injector: Optional[ChurnInjector] = None
+        self._failed_nodes: List[NodeId] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Instantiate every substrate.  Called automatically by :meth:`run`."""
+        if self._built:
+            raise RuntimeError("StreamingSession.build() called twice")
+        self._built = True
+        config = self.config
+
+        simulator = Simulator(seed=config.seed)
+        self.simulator = simulator
+        self.schedule = StreamSchedule(config.stream)
+
+        node_ids = list(range(config.num_nodes))
+        directory = MembershipDirectory(detection_delay=config.failure_detection_delay)
+        directory.add_all(node_ids)
+        self.directory = directory
+
+        latency = config.network.build_latency(simulator.rng, node_ids)
+        loss = config.network.build_loss(simulator.rng)
+        network = Network(simulator, latency_model=latency, loss_model=loss)
+        self.network = network
+
+        for node_id in node_ids:
+            is_source = node_id == config.source_id
+            if is_source and config.source_uncapped:
+                cap = BandwidthCap.unlimited()
+            else:
+                cap = config.network.build_cap(node_id)
+            node = GossipNode(
+                node_id=node_id,
+                simulator=simulator,
+                network=network,
+                directory=directory,
+                schedule=self.schedule,
+                config=config.gossip,
+                delivery_listener=self.deliveries,
+                is_source=is_source,
+            )
+            self.nodes[node_id] = node
+            network.register(node_id, node.on_message, cap)
+
+        source = self.nodes[config.source_id]
+        self.emitter = StreamEmitter(simulator, self.schedule, source.publish)
+
+        if config.churn is not None:
+            self._churn_injector = ChurnInjector(simulator, config.churn, self._apply_failures)
+            self._churn_injector.arm(
+                directory.churn_candidates(protected=[config.source_id]),
+                simulator.rng.stream("churn"),
+            )
+
+    def _apply_failures(self, victims: List[NodeId]) -> None:
+        assert self.network is not None and self.directory is not None and self.simulator is not None
+        now = self.simulator.now
+        for node_id in victims:
+            self._failed_nodes.append(node_id)
+            self.directory.mark_failed(node_id, now)
+            self.network.fail_node(node_id)
+            self.nodes[node_id].fail()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> SessionResult:
+        """Build (if needed), run to completion, and return the results."""
+        if not self._built:
+            self.build()
+        assert self.simulator is not None and self.schedule is not None
+        assert self.emitter is not None
+
+        for node in self.nodes.values():
+            node.start()
+        self.emitter.start()
+
+        end_time = self.schedule.config.end_time + self.config.extra_time
+        self.simulator.run(until=end_time)
+
+        assert self.network is not None
+        return SessionResult(
+            config=self.config,
+            schedule=self.schedule,
+            deliveries=self.deliveries,
+            traffic=self.network.stats,
+            node_stats={node_id: node.stats for node_id, node in self.nodes.items()},
+            failed_nodes=list(self._failed_nodes),
+            events_processed=self.simulator.events_processed,
+            end_time=self.simulator.now,
+        )
+
+
+def run_session(config: SessionConfig) -> SessionResult:
+    """Convenience one-liner: build and run a session from a config."""
+    return StreamingSession(config).run()

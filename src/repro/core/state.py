@@ -1,0 +1,131 @@
+"""Per-node protocol state.
+
+Mirrors the sets of Algorithm 1:
+
+* ``eventsDelivered`` → :attr:`NodeState.delivered` (with delivery times, so
+  the metrics layer can compute lag without extra bookkeeping);
+* ``eventsToPropose`` → :attr:`NodeState.events_to_propose` (infect-and-die:
+  cleared after each gossip round);
+* ``requestedEvents`` → :attr:`NodeState.request_attempts` (we keep a count,
+  not just membership, to enforce the ``K``-attempts retransmission bound).
+
+:class:`PendingRequest` tracks one armed retransmission timer: the proposal
+it came from and which packets it may still re-request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.message import NodeId
+from repro.simulation.timers import Timer
+from repro.streaming.packets import PacketId
+
+
+@dataclass
+class PendingRequest:
+    """An armed retransmission: re-ask ``proposer`` for still-missing packets."""
+
+    proposer: NodeId
+    packet_ids: Tuple[PacketId, ...]
+    timer: Optional[Timer] = None
+    retries_sent: int = 0
+
+    def cancel(self) -> None:
+        """Disarm the retransmission timer."""
+        if self.timer is not None:
+            self.timer.cancel()
+
+
+@dataclass
+class NodeState:
+    """Mutable protocol state of one gossip node."""
+
+    delivered: Dict[PacketId, float] = field(default_factory=dict)
+    events_to_propose: List[PacketId] = field(default_factory=list)
+    request_attempts: Dict[PacketId, int] = field(default_factory=dict)
+    pending_requests: List[PendingRequest] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def has_delivered(self, packet_id: PacketId) -> bool:
+        """Whether the packet has already been delivered to this node."""
+        return packet_id in self.delivered
+
+    def deliver(self, packet_id: PacketId, time: float) -> bool:
+        """Record delivery; returns ``False`` if it was a duplicate."""
+        if packet_id in self.delivered:
+            return False
+        self.delivered[packet_id] = time
+        return True
+
+    def delivery_time(self, packet_id: PacketId) -> Optional[float]:
+        """When the packet was delivered, or ``None`` if it never was."""
+        return self.delivered.get(packet_id)
+
+    @property
+    def delivered_count(self) -> int:
+        """Number of distinct packets delivered so far."""
+        return len(self.delivered)
+
+    # ------------------------------------------------------------------
+    # Proposal queue (infect-and-die)
+    # ------------------------------------------------------------------
+    def queue_for_proposal(self, packet_id: PacketId) -> None:
+        """Add a freshly delivered packet to the next round's proposal."""
+        self.events_to_propose.append(packet_id)
+
+    def drain_proposals(self) -> List[PacketId]:
+        """Return and clear the pending proposal ids (one gossip round)."""
+        drained = self.events_to_propose
+        self.events_to_propose = []
+        return drained
+
+    # ------------------------------------------------------------------
+    # Request bookkeeping
+    # ------------------------------------------------------------------
+    def times_requested(self, packet_id: PacketId) -> int:
+        """How many REQUESTs this node has sent for the packet so far."""
+        return self.request_attempts.get(packet_id, 0)
+
+    def record_request(self, packet_id: PacketId) -> None:
+        """Count one REQUEST sent for the packet."""
+        self.request_attempts[packet_id] = self.request_attempts.get(packet_id, 0) + 1
+
+    def never_requested(self, packet_id: PacketId) -> bool:
+        """Whether the packet has not been requested yet (Algorithm 1, line 10)."""
+        return packet_id not in self.request_attempts
+
+    def may_request_again(self, packet_id: PacketId, max_attempts: int) -> bool:
+        """Whether another REQUEST for the packet stays within the ``K`` bound."""
+        return self.times_requested(packet_id) < max_attempts
+
+    # ------------------------------------------------------------------
+    # Retransmission bookkeeping
+    # ------------------------------------------------------------------
+    def add_pending(self, pending: PendingRequest) -> None:
+        """Track an armed retransmission."""
+        self.pending_requests.append(pending)
+
+    def remove_pending(self, pending: PendingRequest) -> None:
+        """Forget a retransmission that fired or was cancelled."""
+        try:
+            self.pending_requests.remove(pending)
+        except ValueError:
+            pass
+
+    def cancel_all_pending(self) -> None:
+        """Disarm every retransmission timer (node shutdown)."""
+        for pending in self.pending_requests:
+            pending.cancel()
+        self.pending_requests.clear()
+
+    def missing_from(self, packet_ids: Tuple[PacketId, ...]) -> List[PacketId]:
+        """The subset of ``packet_ids`` not yet delivered."""
+        return [packet_id for packet_id in packet_ids if packet_id not in self.delivered]
+
+    def delivered_set(self) -> Set[PacketId]:
+        """A snapshot of all delivered packet ids."""
+        return set(self.delivered)

@@ -1,0 +1,79 @@
+"""Command-line entry point: regenerate paper figures and ablations.
+
+Examples::
+
+    python -m repro.experiments figure1 --scale smoke
+    python -m repro.experiments figure7 figure8 --scale reduced
+    python -m repro.experiments ablation:fec --scale smoke
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import RunCache
+from repro.experiments.scale import available_scales, scale_by_name
+
+
+def _available_targets() -> List[str]:
+    figures = sorted(ALL_FIGURES)
+    ablations = [f"ablation:{name}" for name in sorted(ALL_ABLATIONS)]
+    return figures + ablations
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run the requested figure/ablation generators and print their tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures of 'Stretching Gossip with Live Streaming' (DSN 2009).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="figure ids (figure1..figure8) and/or ablation:<name>",
+    )
+    parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=available_scales(),
+        help="experiment scale (default: smoke)",
+    )
+    parser.add_argument("--list", action="store_true", help="list available targets and exit")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list or not arguments.targets:
+        print("Available targets:")
+        for target in _available_targets():
+            print(f"  {target}")
+        return 0
+
+    scale = scale_by_name(arguments.scale)
+    cache = RunCache()
+    print(f"Running {len(arguments.targets)} target(s) at {scale.describe()}\n")
+
+    for target in arguments.targets:
+        started = time.time()
+        if target.startswith("ablation:"):
+            name = target.split(":", 1)[1]
+            if name not in ALL_ABLATIONS:
+                print(f"unknown ablation {name!r}; available: {sorted(ALL_ABLATIONS)}")
+                return 2
+            result = ALL_ABLATIONS[name](scale)
+        else:
+            if target not in ALL_FIGURES:
+                print(f"unknown target {target!r}; available: {_available_targets()}")
+                return 2
+            result = ALL_FIGURES[target](scale, cache)
+        print(result.to_table())
+        print(f"\n[{target} regenerated in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

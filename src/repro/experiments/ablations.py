@@ -1,0 +1,195 @@
+"""Ablation studies for the design choices the protocol relies on.
+
+The paper keeps several mechanisms fixed across all experiments — FEC coding
+inside each window, request retransmission, a well-provisioned source
+proposing to 7 nodes, and (implicitly) some failure-detection delay in the
+membership layer.  These ablations quantify how much each of those choices
+contributes, using the same session machinery as the figure generators:
+
+* :func:`retransmission_ablation` — Algorithm 1 with and without the
+  retransmission timer (``K = 1`` vs ``K = 2``) under random message loss;
+* :func:`fec_ablation` — windows with and without parity packets;
+* :func:`detection_delay_ablation` — how long the membership layer keeps
+  handing out crashed nodes, under catastrophic churn;
+* :func:`source_fanout_ablation` — how many nodes the source proposes each
+  packet to.
+
+Each function returns a :class:`~repro.experiments.figures.FigureResult`
+(one series per metric) so the results render with the same tooling as the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.core.session import SessionConfig, SessionResult, StreamingSession
+from repro.membership.churn import CatastrophicChurn
+from repro.metrics.quality import OFFLINE_LAG
+from repro.metrics.report import Series
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.scale import REDUCED, ExperimentScale
+
+
+def _run(config: SessionConfig) -> SessionResult:
+    return StreamingSession(config).run()
+
+
+def _result_row(result: SessionResult) -> dict:
+    return {
+        "viewing_20s": result.viewing_percentage(lag=20.0),
+        "viewing_offline": result.viewing_percentage(lag=OFFLINE_LAG),
+        "complete_windows_20s": result.average_complete_windows_percentage(20.0),
+        "delivery": result.delivery_ratio() * 100.0,
+    }
+
+
+def _figure_from_rows(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    scale: ExperimentScale,
+    xs: Sequence[float],
+    rows: Sequence[dict],
+    notes: str = "",
+) -> FigureResult:
+    result = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        y_label="percentage",
+        scale_name=scale.name,
+        notes=notes,
+    )
+    metrics = [
+        ("viewing_20s", "% nodes <1% jitter (20s lag)"),
+        ("viewing_offline", "% nodes <1% jitter (offline)"),
+        ("complete_windows_20s", "avg % complete windows (20s lag)"),
+        ("delivery", "% packets delivered"),
+    ]
+    for key, label in metrics:
+        series = Series(label=label)
+        for x, row in zip(xs, rows):
+            series.add(x, row[key])
+        result.series.append(series)
+    return result
+
+
+def retransmission_ablation(
+    scale: ExperimentScale = REDUCED,
+    loss_probability: float = 0.05,
+    seed_offset: int = 0,
+) -> FigureResult:
+    """Quality with and without retransmission under elevated random loss.
+
+    The x axis is ``K``, the maximum number of REQUESTs per packet (1 means
+    the retransmission timer is effectively disabled).
+    """
+    attempts_grid = (1, 2, 3)
+    rows = []
+    for attempts in attempts_grid:
+        config = scale.session_config(seed_offset=seed_offset)
+        config = replace(
+            config,
+            gossip=replace(config.gossip, max_request_attempts=attempts),
+            network=replace(config.network, random_loss=loss_probability),
+        )
+        rows.append(_result_row(_run(config)))
+    return _figure_from_rows(
+        figure_id="ablation-retransmission",
+        title=f"Retransmission ablation (random loss {loss_probability:.0%})",
+        x_label="max request attempts K",
+        scale=scale,
+        xs=[float(a) for a in attempts_grid],
+        rows=rows,
+        notes="K = 1 disables retransmission; the paper uses retransmission throughout.",
+    )
+
+
+def fec_ablation(
+    scale: ExperimentScale = REDUCED,
+    seed_offset: int = 0,
+) -> FigureResult:
+    """Quality with and without the per-window FEC packets.
+
+    The x axis is the number of parity packets per window; 0 removes FEC
+    entirely (every source packet becomes indispensable).  The window's
+    source-packet count is kept constant so the comparison isolates the
+    redundancy, at the cost of a slightly higher stream rate with FEC.
+    """
+    fec_grid = (0, scale.fec_packets_per_window, scale.fec_packets_per_window * 2)
+    rows = []
+    for fec_packets in fec_grid:
+        config = scale.session_config(seed_offset=seed_offset)
+        config = replace(config, stream=replace(config.stream, fec_packets_per_window=fec_packets))
+        rows.append(_result_row(_run(config)))
+    return _figure_from_rows(
+        figure_id="ablation-fec",
+        title="FEC ablation (parity packets per window)",
+        x_label="FEC packets per window",
+        scale=scale,
+        xs=[float(f) for f in fec_grid],
+        rows=rows,
+        notes="0 parity packets means a single missing packet breaks its window.",
+    )
+
+
+def detection_delay_ablation(
+    scale: ExperimentScale = REDUCED,
+    churn_fraction: float = 0.35,
+    delays: Sequence[float] = (0.0, 2.0, 5.0, 15.0),
+    seed_offset: int = 0,
+) -> FigureResult:
+    """How the membership layer's failure-detection delay shapes churn recovery.
+
+    The paper observes that survivors' losses concentrate in a few seconds
+    around the churn event; that interval is exactly the time during which
+    crashed nodes keep being selected as partners.
+    """
+    rows = []
+    for delay in delays:
+        config = scale.session_config(churn_fraction=churn_fraction, seed_offset=seed_offset)
+        config = replace(config, failure_detection_delay=delay)
+        rows.append(_result_row(_run(config)))
+    return _figure_from_rows(
+        figure_id="ablation-detection-delay",
+        title=f"Failure-detection delay ablation ({churn_fraction:.0%} churn, X = 1)",
+        x_label="detection delay (s)",
+        scale=scale,
+        xs=[float(d) for d in delays],
+        rows=rows,
+        notes="0 s is an oracle failure detector; larger delays stretch the post-churn dip.",
+    )
+
+
+def source_fanout_ablation(
+    scale: ExperimentScale = REDUCED,
+    source_fanouts: Sequence[int] = (1, 3, 7, 14),
+    seed_offset: int = 0,
+) -> FigureResult:
+    """How many first-hop copies the source injects (the paper fixes 7)."""
+    rows = []
+    for source_fanout in source_fanouts:
+        config = scale.session_config(seed_offset=seed_offset)
+        config = replace(config, gossip=replace(config.gossip, source_fanout=source_fanout))
+        rows.append(_result_row(_run(config)))
+    return _figure_from_rows(
+        figure_id="ablation-source-fanout",
+        title="Source fanout ablation",
+        x_label="source fanout",
+        scale=scale,
+        xs=[float(f) for f in source_fanouts],
+        rows=rows,
+        notes="The source is uncapped; its fanout controls first-hop redundancy.",
+    )
+
+
+ALL_ABLATIONS = {
+    "retransmission": retransmission_ablation,
+    "fec": fec_ablation,
+    "detection-delay": detection_delay_ablation,
+    "source-fanout": source_fanout_ablation,
+}
+"""All ablation generators keyed by short name (used by the CLI)."""

@@ -1,0 +1,115 @@
+"""Running individual experiment points, with caching across figures.
+
+Several figures share underlying runs (Figure 2 re-analyzes Figure 1's runs;
+Figure 8 re-analyzes Figure 7's).  :class:`RunCache` memoizes completed
+sessions by their experiment point so a benchmark session that regenerates
+all eight figures does not repeat identical simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.session import SessionResult, StreamingSession
+from repro.membership.partners import INFINITE
+
+from repro.experiments.scale import ExperimentScale
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One point of a parameter sweep, at a given scale.
+
+    The fields cover every knob the paper's figures vary; unspecified knobs
+    take the scale's defaults (700 kbps cap, fanout 7, X = 1, Y = ∞, no
+    churn).
+    """
+
+    scale_name: str
+    fanout: Optional[int] = None
+    cap_kbps: Optional[float] = None
+    refresh_every: float = 1
+    feed_me_every: float = INFINITE
+    churn_fraction: float = 0.0
+    seed_offset: int = 0
+
+    def describe(self) -> str:
+        """Short human-readable description of this point."""
+        parts = [f"scale={self.scale_name}"]
+        if self.fanout is not None:
+            parts.append(f"fanout={self.fanout}")
+        if self.cap_kbps is not None:
+            parts.append(f"cap={self.cap_kbps:.0f}kbps")
+        parts.append(f"X={'inf' if self.refresh_every == INFINITE else int(self.refresh_every)}")
+        if self.feed_me_every != INFINITE:
+            parts.append(f"Y={int(self.feed_me_every)}")
+        if self.churn_fraction > 0.0:
+            parts.append(f"churn={self.churn_fraction:.0%}")
+        if self.seed_offset:
+            parts.append(f"seed+{self.seed_offset}")
+        return ", ".join(parts)
+
+
+def run_point(scale: ExperimentScale, point: ExperimentPoint) -> SessionResult:
+    """Run one experiment point from scratch (no caching)."""
+    config = scale.session_config(
+        fanout=point.fanout,
+        cap_kbps=point.cap_kbps,
+        refresh_every=point.refresh_every,
+        feed_me_every=point.feed_me_every,
+        churn_fraction=point.churn_fraction,
+        seed_offset=point.seed_offset,
+    )
+    return StreamingSession(config).run()
+
+
+class RunCache:
+    """Memoizes :func:`run_point` results by experiment point.
+
+    A module-level :data:`shared_cache` is used by the figure generators so
+    that regenerating all figures in one process reuses overlapping runs
+    (e.g. the fanout-7 / 700 kbps / X=1 point appears in Figures 1, 2, 4, 5
+    and 6).
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[ExperimentPoint, SessionResult] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of cache hits so far."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of simulations actually run."""
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def get(self, scale: ExperimentScale, point: ExperimentPoint) -> SessionResult:
+        """Return the result for ``point``, running the simulation if needed."""
+        if point.scale_name != scale.name:
+            raise ValueError(
+                f"point was built for scale {point.scale_name!r}, not {scale.name!r}"
+            )
+        cached = self._results.get(point)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        result = run_point(scale, point)
+        self._results[point] = result
+        return result
+
+    def clear(self) -> None:
+        """Drop all cached results (frees a lot of memory after a sweep)."""
+        self._results.clear()
+
+
+shared_cache = RunCache()
+"""Process-wide cache shared by all figure generators."""

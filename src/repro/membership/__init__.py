@@ -1,0 +1,40 @@
+"""Membership substrate: who is in the system and who can be gossiped to.
+
+The paper deliberately avoids any structured overlay: every node knows the
+full membership and ``selectNodes(f)`` returns ``f`` uniformly random nodes.
+This package provides that substrate plus the two proactiveness mechanisms
+the paper studies and the churn injector used in Section 4.3:
+
+* :class:`MembershipDirectory` — the full-membership list with a configurable
+  failure-detection delay (failed nodes linger in views for a while, which is
+  what produces the short quality dip around a churn event).
+* :class:`PartnerSelector` — per-node partner set with the *view refresh
+  rate* ``X`` (refresh ``selectNodes`` output every ``X`` gossip periods) and
+  support for *feed-me* insertions (the ``Y`` mechanism).
+* :class:`CatastrophicChurn` / :class:`StaggeredChurn` — churn schedules that
+  fail a fraction of nodes at once (the paper's scenario) or progressively.
+"""
+
+from repro.membership.churn import (
+    CatastrophicChurn,
+    ChurnEvent,
+    ChurnInjector,
+    ChurnSchedule,
+    NoChurn,
+    StaggeredChurn,
+)
+from repro.membership.directory import MembershipDirectory
+from repro.membership.partners import INFINITE, PartnerSelector, recommended_fanout
+
+__all__ = [
+    "CatastrophicChurn",
+    "ChurnEvent",
+    "ChurnInjector",
+    "ChurnSchedule",
+    "INFINITE",
+    "MembershipDirectory",
+    "NoChurn",
+    "PartnerSelector",
+    "StaggeredChurn",
+    "recommended_fanout",
+]

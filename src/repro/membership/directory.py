@@ -1,0 +1,119 @@
+"""Full-membership directory with delayed failure detection.
+
+The gossip protocol of the paper assumes each node can pick uniformly random
+partners "in the set of all nodes" (Algorithm 1, line 26).  In the PlanetLab
+deployment this knowledge is provided by a membership service; crucially,
+when nodes crash, the rest of the system does not learn about it instantly —
+dead nodes keep being selected for a short while, wasting fanout, which is
+why survivors see a few seconds of degraded quality around a churn event
+before the protocol recovers.
+
+:class:`MembershipDirectory` models exactly that: a registry of node ids, a
+failure timestamp per crashed node, and a ``detection_delay`` after which a
+crashed node stops being returned by :meth:`selectable`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.network.message import NodeId
+
+
+class MembershipDirectory:
+    """Registry of all nodes with delayed failure visibility.
+
+    Parameters
+    ----------
+    detection_delay:
+        Seconds after a node's failure before other nodes stop selecting it.
+        ``float("inf")`` models a system with no failure detection at all
+        (dead nodes are selected forever); ``0`` models an oracle detector.
+    """
+
+    def __init__(self, detection_delay: float = 5.0) -> None:
+        if detection_delay < 0.0:
+            raise ValueError(f"detection_delay must be >= 0, got {detection_delay!r}")
+        self.detection_delay = float(detection_delay)
+        self._members: List[NodeId] = []
+        self._member_set: set[NodeId] = set()
+        self._failed_at: Dict[NodeId, float] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, node_id: NodeId) -> None:
+        """Register a node.  Adding an existing member is an error."""
+        if node_id in self._member_set:
+            raise ValueError(f"node {node_id} is already a member")
+        self._members.append(node_id)
+        self._member_set.add(node_id)
+
+    def add_all(self, node_ids: Iterable[NodeId]) -> None:
+        """Register several nodes at once."""
+        for node_id in node_ids:
+            self.add(node_id)
+
+    def mark_failed(self, node_id: NodeId, time: float) -> None:
+        """Record that ``node_id`` crashed at simulated ``time``."""
+        if node_id not in self._member_set:
+            raise KeyError(f"node {node_id} is not a member")
+        self._failed_at.setdefault(node_id, time)
+
+    def mark_recovered(self, node_id: NodeId) -> None:
+        """Clear a failure record (the node is selectable again)."""
+        self._failed_at.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def members(self) -> List[NodeId]:
+        """All registered node ids, including failed ones."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._member_set
+
+    def is_failed(self, node_id: NodeId) -> bool:
+        """Whether the node has crashed (regardless of detection)."""
+        return node_id in self._failed_at
+
+    def failed_at(self, node_id: NodeId) -> Optional[float]:
+        """Time at which the node crashed, or ``None`` if it is alive."""
+        return self._failed_at.get(node_id)
+
+    def alive_members(self) -> List[NodeId]:
+        """Node ids that have not crashed (ground truth, not detection)."""
+        return [node_id for node_id in self._members if node_id not in self._failed_at]
+
+    def selectable(self, now: float, exclude: Optional[NodeId] = None) -> List[NodeId]:
+        """Nodes that appear alive at ``now`` from the point of view of peers.
+
+        A crashed node remains selectable until ``detection_delay`` seconds
+        after its crash, then disappears from every node's candidate set.
+        """
+        result: List[NodeId] = []
+        for node_id in self._members:
+            if node_id == exclude:
+                continue
+            failed_time = self._failed_at.get(node_id)
+            if failed_time is not None and now >= failed_time + self.detection_delay:
+                continue
+            result.append(node_id)
+        return result
+
+    def churn_candidates(self, protected: Iterable[NodeId] = ()) -> List[NodeId]:
+        """Alive nodes eligible to be killed by a churn schedule.
+
+        ``protected`` typically contains the stream source, which the paper
+        never crashes.
+        """
+        protected_set = set(protected)
+        return [
+            node_id
+            for node_id in self.alive_members()
+            if node_id not in protected_set
+        ]

@@ -1,0 +1,32 @@
+"""Metrics: from raw delivery events to the paper's evaluation quantities.
+
+The paper evaluates two stream-level metrics (Section 4):
+
+* **stream lag** — the difference between the time a packet is published by
+  the source and the time it is delivered to a node's player;
+* **stream quality** — the percentage of FEC windows that are viewable, a
+  window being *jittered* when fewer than 101 of its 110 packets arrive by
+  the playout deadline.  A node "views the stream" when at most 1 % of its
+  windows are jittered.
+
+plus the per-node upload bandwidth usage of Figure 4.
+
+This package turns the raw observations collected during a run — the
+:class:`DeliveryLog` of (node, packet, time) triples and the network's
+:class:`~repro.network.stats.TrafficStats` — into those quantities.
+"""
+
+from repro.metrics.bandwidth import BandwidthUsage
+from repro.metrics.delivery import DeliveryLog
+from repro.metrics.quality import OFFLINE_LAG, StreamQualityAnalyzer
+from repro.metrics.report import Series, format_series_table, format_table
+
+__all__ = [
+    "BandwidthUsage",
+    "DeliveryLog",
+    "OFFLINE_LAG",
+    "Series",
+    "StreamQualityAnalyzer",
+    "format_series_table",
+    "format_table",
+]

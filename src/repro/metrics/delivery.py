@@ -1,0 +1,72 @@
+"""The delivery log: every first-time packet delivery observed in a run.
+
+Gossip nodes invoke their delivery listener exactly once per (node, packet);
+the :class:`DeliveryLog` is the listener used by
+:class:`repro.core.session.StreamingSession` and is the single source of
+truth for all quality and lag metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.network.message import NodeId
+from repro.streaming.packets import PacketId
+
+
+class DeliveryLog:
+    """Records the first delivery time of every packet at every node."""
+
+    def __init__(self) -> None:
+        self._by_node: Dict[NodeId, Dict[PacketId, float]] = {}
+        self._total_deliveries = 0
+
+    # ------------------------------------------------------------------
+    # Recording (used as a GossipNode delivery listener)
+    # ------------------------------------------------------------------
+    def record(self, node_id: NodeId, packet_id: PacketId, time: float) -> None:
+        """Record one first-time delivery.  Duplicate records are ignored."""
+        node_log = self._by_node.setdefault(node_id, {})
+        if packet_id in node_log:
+            return
+        node_log[packet_id] = time
+        self._total_deliveries += 1
+
+    def __call__(self, node_id: NodeId, packet_id: PacketId, time: float) -> None:
+        """Alias for :meth:`record`, so the log can be passed as a listener."""
+        self.record(node_id, packet_id, time)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_deliveries(self) -> int:
+        """Total number of (node, packet) deliveries recorded."""
+        return self._total_deliveries
+
+    def nodes(self) -> Iterable[NodeId]:
+        """Node ids that delivered at least one packet."""
+        return tuple(self._by_node)
+
+    def deliveries_of(self, node_id: NodeId) -> Dict[PacketId, float]:
+        """Mapping packet id → delivery time for one node (possibly empty)."""
+        return dict(self._by_node.get(node_id, {}))
+
+    def delivery_time(self, node_id: NodeId, packet_id: PacketId) -> Optional[float]:
+        """Delivery time of a packet at a node, or ``None`` if never delivered."""
+        node_log = self._by_node.get(node_id)
+        if node_log is None:
+            return None
+        return node_log.get(packet_id)
+
+    def packets_delivered(self, node_id: NodeId) -> int:
+        """Number of distinct packets delivered to ``node_id``."""
+        return len(self._by_node.get(node_id, {}))
+
+    def raw(self) -> Dict[NodeId, Dict[PacketId, float]]:
+        """Direct (read-only by convention) access to the underlying mapping.
+
+        The quality analyzer iterates over every delivery; exposing the raw
+        dictionaries avoids copying hundreds of thousands of entries.
+        """
+        return self._by_node

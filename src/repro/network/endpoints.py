@@ -1,0 +1,26 @@
+"""Endpoint protocol for objects attached to the network."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.network.message import Message
+
+
+@runtime_checkable
+class Endpoint(Protocol):
+    """Anything that can be registered on a :class:`repro.network.Network`.
+
+    Gossip nodes, the stream source and test doubles all implement this
+    protocol: a stable ``node_id`` and an ``on_message`` callback invoked by
+    the transport when a datagram is delivered.
+    """
+
+    @property
+    def node_id(self) -> int:
+        """Stable identifier of this endpoint."""
+        ...
+
+    def on_message(self, message: Message) -> None:
+        """Handle a datagram delivered to this endpoint."""
+        ...

@@ -1,0 +1,54 @@
+"""Messages exchanged over the simulated network.
+
+A :class:`Message` is the network-layer view of a datagram: who sends it, who
+receives it, how many bytes it occupies on the wire, a ``kind`` tag used for
+traffic accounting, and an opaque payload interpreted by the application
+(the gossip protocol defines PROPOSE / REQUEST / SERVE / FEED_ME payloads in
+:mod:`repro.core.messages`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+NodeId = int
+"""Nodes are identified by small non-negative integers."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application datagram with explicit wire size.
+
+    Attributes
+    ----------
+    sender:
+        Node id of the sender.
+    receiver:
+        Node id of the destination.
+    kind:
+        Short tag naming the message type (e.g. ``"propose"``); used only
+        for per-kind traffic accounting and debugging.
+    size_bytes:
+        Number of bytes the datagram occupies on the wire, including
+        application headers.  The upload limiter charges exactly this amount
+        against the sender's cap.
+    payload:
+        Opaque application payload delivered to the receiver's handler.
+    """
+
+    sender: NodeId
+    receiver: NodeId
+    kind: str
+    size_bytes: int
+    payload: Any = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {self.size_bytes!r}")
+        if self.sender < 0 or self.receiver < 0:
+            raise ValueError("node ids must be non-negative")
+
+    def size_bits(self) -> int:
+        """Wire size in bits (used by the bandwidth limiter)."""
+        return self.size_bytes * 8

@@ -1,0 +1,150 @@
+"""Traffic accounting.
+
+The paper's Figure 4 plots the distribution of *used* upload bandwidth across
+nodes for several (fanout, cap) combinations.  :class:`TrafficStats` records,
+per node and per message kind, how many bytes were accepted by the upload
+limiter, dropped due to congestion, lost in flight, and received — enough to
+regenerate that figure and to sanity-check every experiment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.network.message import NodeId
+
+
+@dataclass
+class NodeTraffic:
+    """Byte and message counters for a single node."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    bytes_dropped_congestion: int = 0
+    bytes_lost_in_flight: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_dropped_congestion: int = 0
+    messages_lost_in_flight: int = 0
+    sent_bytes_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    received_bytes_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def upload_kbps(self, duration_seconds: float) -> float:
+        """Average upload rate over ``duration_seconds``, in kbps."""
+        if duration_seconds <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration_seconds!r}")
+        return self.bytes_sent * 8.0 / duration_seconds / 1000.0
+
+    def congestion_drop_ratio(self) -> float:
+        """Fraction of offered messages dropped by the upload limiter."""
+        offered = self.messages_sent + self.messages_dropped_congestion
+        if offered == 0:
+            return 0.0
+        return self.messages_dropped_congestion / offered
+
+
+class TrafficStats:
+    """Per-node traffic counters with an optional measurement window.
+
+    The measurement window (``start_measurement`` / ``stop_measurement``)
+    lets experiments exclude warm-up traffic from bandwidth-usage figures.
+    """
+
+    def __init__(self) -> None:
+        self._per_node: Dict[NodeId, NodeTraffic] = defaultdict(NodeTraffic)
+        self._window_start: Optional[float] = None
+        self._window_end: Optional[float] = None
+        self._measuring = True
+
+    # ------------------------------------------------------------------
+    # Measurement window
+    # ------------------------------------------------------------------
+    def start_measurement(self, now: float) -> None:
+        """Begin the measurement window: clears all counters."""
+        self._per_node.clear()
+        self._window_start = now
+        self._window_end = None
+        self._measuring = True
+
+    def stop_measurement(self, now: float) -> None:
+        """End the measurement window; later traffic is not recorded."""
+        self._window_end = now
+        self._measuring = False
+
+    @property
+    def window_duration(self) -> Optional[float]:
+        """Length of the measurement window, if both ends were marked."""
+        if self._window_start is None or self._window_end is None:
+            return None
+        return self._window_end - self._window_start
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_sent(self, node_id: NodeId, kind: str, size_bytes: int) -> None:
+        """Record a datagram accepted by ``node_id``'s upload limiter."""
+        if not self._measuring:
+            return
+        traffic = self._per_node[node_id]
+        traffic.bytes_sent += size_bytes
+        traffic.messages_sent += 1
+        traffic.sent_bytes_by_kind[kind] += size_bytes
+
+    def record_received(self, node_id: NodeId, kind: str, size_bytes: int) -> None:
+        """Record a datagram delivered to ``node_id``."""
+        if not self._measuring:
+            return
+        traffic = self._per_node[node_id]
+        traffic.bytes_received += size_bytes
+        traffic.messages_received += 1
+        traffic.received_bytes_by_kind[kind] += size_bytes
+
+    def record_congestion_drop(self, node_id: NodeId, kind: str, size_bytes: int) -> None:
+        """Record a datagram dropped by ``node_id``'s upload limiter."""
+        if not self._measuring:
+            return
+        traffic = self._per_node[node_id]
+        traffic.bytes_dropped_congestion += size_bytes
+        traffic.messages_dropped_congestion += 1
+
+    def record_in_flight_loss(self, node_id: NodeId, kind: str, size_bytes: int) -> None:
+        """Record a datagram from ``node_id`` lost by the network after sending."""
+        if not self._measuring:
+            return
+        traffic = self._per_node[node_id]
+        traffic.bytes_lost_in_flight += size_bytes
+        traffic.messages_lost_in_flight += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: NodeId) -> NodeTraffic:
+        """Counters for ``node_id`` (zeros if it never appeared)."""
+        return self._per_node[node_id]
+
+    def nodes(self) -> Iterable[NodeId]:
+        """Ids of all nodes that have recorded any traffic."""
+        return tuple(self._per_node)
+
+    def upload_usage_kbps(self, duration_seconds: float) -> Dict[NodeId, float]:
+        """Average upload rate per node over ``duration_seconds`` in kbps."""
+        return {
+            node_id: traffic.upload_kbps(duration_seconds)
+            for node_id, traffic in self._per_node.items()
+        }
+
+    def total_bytes_sent(self) -> int:
+        """Total bytes accepted by all upload limiters."""
+        return sum(traffic.bytes_sent for traffic in self._per_node.values())
+
+    def total_congestion_drops(self) -> int:
+        """Total messages dropped by upload limiters across all nodes."""
+        return sum(
+            traffic.messages_dropped_congestion for traffic in self._per_node.values()
+        )
+
+    def total_in_flight_losses(self) -> int:
+        """Total messages lost in flight across all nodes."""
+        return sum(traffic.messages_lost_in_flight for traffic in self._per_node.values())

@@ -1,0 +1,204 @@
+"""The unreliable, bandwidth-constrained transport.
+
+:class:`Network` ties the substrate together.  Sending a datagram goes
+through four stages, mirroring the paper's deployment:
+
+1. the *sender's upload limiter* either queues it (adding serialization /
+   throttling delay) or drops it when the backlog is full (congestion loss);
+2. the *loss model* may drop it in flight (random UDP loss);
+3. the *latency model* assigns a one-way propagation delay;
+4. the datagram is delivered to the receiver's handler — unless the receiver
+   has failed (churn) or was never registered.
+
+There is no acknowledgement or retransmission at this layer; reliability is
+the gossip protocol's job (request retries, FEC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RngRegistry
+
+from repro.network.bandwidth import BandwidthCap, UploadLimiter
+from repro.network.latency import ConstantLatency, LatencyModel, PerNodeQualityLatency
+from repro.network.loss import LossModel, NoLoss, UniformLoss
+from repro.network.message import Message, NodeId
+from repro.network.stats import TrafficStats
+
+MessageHandler = Callable[[Message], None]
+
+
+@dataclass
+class NetworkConfig:
+    """Declarative description of a network substrate.
+
+    Used by the experiment harness to build comparable networks across
+    parameter sweeps.  All rates are in kbps; latencies in seconds.
+
+    Attributes
+    ----------
+    upload_cap_kbps:
+        Default per-node upload cap; ``None`` means unlimited.
+    max_backlog_seconds:
+        Throttling queue capacity, in seconds of serialization at the cap.
+    latency_model:
+        One of ``"constant"``, ``"uniform"``, ``"lognormal"``, ``"per-node"``.
+    base_latency:
+        Mean/median one-way latency in seconds.
+    random_loss:
+        Probability of in-flight loss per datagram (0 disables the model).
+    """
+
+    upload_cap_kbps: Optional[float] = 700.0
+    max_backlog_seconds: float = 10.0
+    latency_model: str = "per-node"
+    base_latency: float = 0.05
+    random_loss: float = 0.01
+    per_node_caps_kbps: Dict[NodeId, float] = field(default_factory=dict)
+
+    def build_cap(self, node_id: NodeId) -> BandwidthCap:
+        """The upload cap to apply to ``node_id``."""
+        kbps = self.per_node_caps_kbps.get(node_id, self.upload_cap_kbps)
+        return BandwidthCap.from_kbps(kbps, max_backlog_seconds=self.max_backlog_seconds)
+
+    def build_latency(self, rng: RngRegistry, node_ids: list[NodeId]) -> LatencyModel:
+        """Instantiate the configured latency model."""
+        if self.latency_model == "constant":
+            return ConstantLatency(self.base_latency)
+        if self.latency_model == "uniform":
+            from repro.network.latency import UniformLatency
+
+            return UniformLatency(rng, low=self.base_latency * 0.4, high=self.base_latency * 2.0)
+        if self.latency_model == "lognormal":
+            from repro.network.latency import LogNormalLatency
+
+            return LogNormalLatency(rng, median=self.base_latency)
+        if self.latency_model == "per-node":
+            return PerNodeQualityLatency(rng, node_ids, base=self.base_latency)
+        raise ValueError(f"unknown latency model {self.latency_model!r}")
+
+    def build_loss(self, rng: RngRegistry) -> LossModel:
+        """Instantiate the configured in-flight loss model."""
+        if self.random_loss <= 0.0:
+            return NoLoss()
+        return UniformLoss(rng, probability=self.random_loss)
+
+
+class Network:
+    """Routes datagrams between registered endpoints.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event simulator used for timing.
+    latency_model / loss_model:
+        Substrate behaviour; see :mod:`repro.network.latency` and
+        :mod:`repro.network.loss`.
+    stats:
+        Optional shared :class:`TrafficStats`; one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: Optional[LatencyModel] = None,
+        loss_model: Optional[LossModel] = None,
+        stats: Optional[TrafficStats] = None,
+    ) -> None:
+        self._simulator = simulator
+        self._latency = latency_model if latency_model is not None else ConstantLatency()
+        self._loss = loss_model if loss_model is not None else NoLoss()
+        self._handlers: Dict[NodeId, MessageHandler] = {}
+        self._limiters: Dict[NodeId, UploadLimiter] = {}
+        self._alive: Dict[NodeId, bool] = {}
+        self.stats = stats if stats is not None else TrafficStats()
+
+    # ------------------------------------------------------------------
+    # Registration and liveness
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        node_id: NodeId,
+        handler: MessageHandler,
+        cap: Optional[BandwidthCap] = None,
+    ) -> None:
+        """Attach an endpoint.  ``cap`` defaults to unlimited upload."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} is already registered")
+        self._handlers[node_id] = handler
+        self._limiters[node_id] = UploadLimiter(cap if cap is not None else BandwidthCap.unlimited())
+        self._alive[node_id] = True
+
+    def is_registered(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` has been registered on this network."""
+        return node_id in self._handlers
+
+    def is_alive(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is registered and has not failed."""
+        return self._alive.get(node_id, False)
+
+    def fail_node(self, node_id: NodeId) -> None:
+        """Crash a node: it stops sending and receiving immediately."""
+        if node_id in self._alive:
+            self._alive[node_id] = False
+
+    def recover_node(self, node_id: NodeId) -> None:
+        """Bring a previously failed node back (its state is untouched)."""
+        if node_id in self._alive:
+            self._alive[node_id] = True
+
+    def limiter(self, node_id: NodeId) -> UploadLimiter:
+        """The upload limiter of ``node_id`` (for inspection in experiments)."""
+        return self._limiters[node_id]
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The latency model in use."""
+        return self._latency
+
+    @property
+    def loss_model(self) -> LossModel:
+        """The in-flight loss model in use."""
+        return self._loss
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> bool:
+        """Send ``message`` from its sender to its receiver.
+
+        Returns ``True`` if the datagram was accepted by the sender's upload
+        limiter (it may still be lost in flight or arrive at a dead node),
+        ``False`` if it was dropped locally (dead sender or congestion).
+        """
+        sender = message.sender
+        if not self._alive.get(sender, False):
+            return False
+        limiter = self._limiters[sender]
+        now = self._simulator.now
+        finish_time = limiter.enqueue(message.size_bytes, now)
+        if finish_time is None:
+            self.stats.record_congestion_drop(sender, message.kind, message.size_bytes)
+            return False
+        self.stats.record_sent(sender, message.kind, message.size_bytes)
+
+        if self._loss.is_lost(message):
+            self.stats.record_in_flight_loss(sender, message.kind, message.size_bytes)
+            return True
+
+        delay = (finish_time - now) + self._latency.sample(sender, message.receiver)
+        self._simulator.schedule(delay, self._deliver, message)
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        receiver = message.receiver
+        if not self._alive.get(receiver, False):
+            return
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            return
+        self.stats.record_received(receiver, message.kind, message.size_bytes)
+        handler(message)

@@ -1,0 +1,178 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the clock, the event queue and the RNG registry.  All
+other components (transport, gossip nodes, churn injectors, metric probes)
+hold a reference to the simulator and interact with it through three verbs:
+
+* ``schedule(delay, callback, *args)`` — run ``callback`` after ``delay``
+  simulated seconds;
+* ``schedule_at(time, callback, *args)`` — run at an absolute instant;
+* ``now`` — the current simulated time.
+
+Running the simulation is ``run(until=...)`` or ``run_until_idle()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.errors import SimulationStateError, SimulationTimeError
+from repro.simulation.event_queue import EventCallback, EventHandle, EventQueue
+from repro.simulation.rng import RngRegistry
+
+
+class Simulator:
+    """Discrete-event simulator: clock + event queue + named RNG streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the RNG registry.  Every random draw in an experiment
+        descends from this seed, making runs reproducible.
+    start_time:
+        Initial simulated time (seconds).
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._clock = SimulationClock(start_time)
+        self._queue = EventQueue()
+        self._rng = RngRegistry(seed)
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Time and randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock.now
+
+    @property
+    def rng(self) -> RngRegistry:
+        """Registry of named deterministic random streams."""
+        return self._rng
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far (for diagnostics/limits)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: EventCallback, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay schedules the callback
+        for the current instant, after all events already queued for it.
+        """
+        if delay < 0.0:
+            raise SimulationTimeError(f"cannot schedule with negative delay {delay!r}")
+        return self._queue.push(self._clock.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: EventCallback, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._clock.now:
+            raise SimulationTimeError(
+                f"cannot schedule at {time!r}, which is before now ({self._clock.now!r})"
+            )
+        return self._queue.push(time, callback, *args)
+
+    def cancel(self, handle: Optional[EventHandle]) -> None:
+        """Cancel a previously scheduled event.  ``None`` is accepted and ignored."""
+        if handle is not None:
+            handle.cancel()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event.  Returns ``False`` if none remained."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._clock.advance_to(event.time)
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be strictly after this time, and
+            advance the clock to exactly ``until``.  ``None`` runs until the
+            queue is empty.
+        max_events:
+            Optional safety valve: stop after executing this many events.
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationStateError("Simulator.run() called re-entrantly from an event")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._clock.now < until:
+            self._clock.advance_to(until)
+        return executed
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Run until no events remain (or ``max_events`` is hit)."""
+        return self.run(until=None, max_events=max_events)
+
+    def clear(self) -> None:
+        """Drop all pending events (used when tearing down an experiment)."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Simulator(now={self.now:.3f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )
+
+
+def call_every(
+    simulator: Simulator,
+    period: float,
+    callback: Callable[[], None],
+    start_delay: float = 0.0,
+) -> "EventHandle":
+    """Convenience wrapper kept for backwards compatibility with early tests.
+
+    Prefer :class:`repro.simulation.timers.PeriodicTimer`, which supports
+    cancellation and exposes its fire count.
+    """
+    from repro.simulation.timers import PeriodicTimer
+
+    timer = PeriodicTimer(simulator, period, callback, start_delay=start_delay)
+    timer.start()
+    return timer  # type: ignore[return-value]

@@ -1,0 +1,23 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation kernel."""
+
+
+class SimulationTimeError(SimulationError):
+    """Raised when an operation would move simulated time backwards.
+
+    The simulation clock is strictly monotonic: events may share a timestamp
+    (ties are broken by insertion order) but the clock can never be rewound.
+    Scheduling an event in the past, or advancing the clock to an earlier
+    instant, raises this error instead of silently corrupting causality.
+    """
+
+
+class SimulationStateError(SimulationError):
+    """Raised when the simulator is used in an invalid state.
+
+    Examples: running a simulator from within one of its own event callbacks,
+    or scheduling work on a simulator that has been explicitly closed.
+    """

@@ -1,0 +1,110 @@
+"""Cancellable priority queue of timestamped events.
+
+The queue orders events by ``(time, sequence_number)`` so that two events
+scheduled for the same instant fire in the order they were scheduled.  This
+determinism matters: gossip experiments are compared across parameter sweeps
+and must not depend on hash ordering or heap tie-breaking accidents.
+
+Cancellation is *lazy*: cancelling an event marks its handle and the event is
+skipped when it reaches the top of the heap.  This makes cancellation O(1),
+which the gossip protocol relies on (retransmission timers are cancelled for
+every packet that is served in time — the common case).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simulation.errors import SimulationTimeError
+
+EventCallback = Callable[..., None]
+
+
+@dataclass
+class EventHandle:
+    """Handle returned when scheduling an event, used to cancel it."""
+
+    time: float
+    sequence: int
+    _cancelled: bool = field(default=False, repr=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped by the queue."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this handle."""
+        return self._cancelled
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """Internal heap entry pairing a handle with its callback."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    handle: EventHandle = field(compare=False, default=None)  # type: ignore[assignment]
+
+
+class EventQueue:
+    """A deterministic, cancellable min-heap of :class:`ScheduledEvent`."""
+
+    __slots__ = ("_heap", "_sequence")
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.handle.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+    def push(self, time: float, callback: EventCallback, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at simulated ``time``.
+
+        Returns a handle whose :meth:`EventHandle.cancel` prevents execution.
+        """
+        if time < 0.0:
+            raise SimulationTimeError(f"cannot schedule event at negative time {time!r}")
+        handle = EventHandle(time=time, sequence=self._sequence)
+        event = ScheduledEvent(
+            time=time,
+            sequence=self._sequence,
+            callback=callback,
+            args=args,
+            handle=handle,
+        )
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return handle
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` if the queue is empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> ScheduledEvent | None:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def _discard_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].handle.cancelled:
+            heapq.heappop(heap)
+
+    def clear(self) -> None:
+        """Drop every queued event (used when tearing an experiment down)."""
+        self._heap.clear()

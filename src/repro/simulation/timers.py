@@ -1,0 +1,161 @@
+"""Timer helpers built on top of the simulator's event queue.
+
+The gossip protocol uses two kinds of timers:
+
+* the **gossip timer** — a fixed-period tick on every node that triggers a
+  gossip round (``PeriodicTimer``);
+* **retransmission timers** — one-shot timers armed when a node requests
+  packets and cancelled when the packets arrive (``Timer``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.engine import Simulator
+from repro.simulation.event_queue import EventHandle
+
+
+class Timer:
+    """A one-shot, cancellable, re-armable timer.
+
+    The callback receives no arguments; bind state with a closure or
+    ``functools.partial``.
+    """
+
+    __slots__ = ("_simulator", "_callback", "_handle", "_fired")
+
+    def __init__(self, simulator: Simulator, callback: Callable[[], None]) -> None:
+        self._simulator = simulator
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._fired = False
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer is currently scheduled and not yet fired."""
+        return self._handle is not None and not self._handle.cancelled and not self._fired
+
+    @property
+    def fired(self) -> bool:
+        """Whether the timer has fired at least once since the last arm."""
+        return self._fired
+
+    def arm(self, delay: float) -> None:
+        """(Re-)schedule the timer ``delay`` seconds from now.
+
+        Re-arming an already armed timer cancels the previous schedule.
+        """
+        self.cancel()
+        self._fired = False
+        self._handle = self._simulator.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Cancel the timer if it is armed; no-op otherwise."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._fired = True
+        self._callback()
+
+
+class PeriodicTimer:
+    """A fixed-period timer that re-arms itself after every fire.
+
+    Parameters
+    ----------
+    simulator:
+        The simulator to schedule on.
+    period:
+        Seconds between consecutive fires (must be > 0).
+    callback:
+        Zero-argument callable invoked at every fire.
+    start_delay:
+        Delay before the first fire.  Defaults to one full period, matching
+        the behaviour of a timer started "now" that first ticks after its
+        period elapses.  Pass 0.0 to fire immediately.
+    jitter:
+        Optional ±fraction of the period added as uniform jitter to each
+        interval, drawn from the named RNG stream ``"timer-jitter"``.  The
+        paper's implementation has no jitter; it is exposed for sensitivity
+        experiments.
+    """
+
+    __slots__ = (
+        "_simulator",
+        "_period",
+        "_callback",
+        "_start_delay",
+        "_jitter",
+        "_handle",
+        "_fire_count",
+        "_running",
+    )
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        start_delay: Optional[float] = None,
+        jitter: float = 0.0,
+    ) -> None:
+        if period <= 0.0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        self._simulator = simulator
+        self._period = float(period)
+        self._callback = callback
+        self._start_delay = period if start_delay is None else float(start_delay)
+        self._jitter = float(jitter)
+        self._handle: Optional[EventHandle] = None
+        self._fire_count = 0
+        self._running = False
+
+    @property
+    def period(self) -> float:
+        """Seconds between fires."""
+        return self._period
+
+    @property
+    def fire_count(self) -> int:
+        """Number of times the timer has fired since :meth:`start`."""
+        return self._fire_count
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is active (started and not stopped)."""
+        return self._running
+
+    def start(self) -> None:
+        """Start the timer.  Starting an already-running timer is a no-op."""
+        if self._running:
+            return
+        self._running = True
+        self._handle = self._simulator.schedule(self._start_delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop the timer; it can be started again later."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_interval(self) -> float:
+        if self._jitter == 0.0:
+            return self._period
+        rng = self._simulator.rng.stream("timer-jitter")
+        spread = self._period * self._jitter
+        return self._period + rng.uniform(-spread, spread)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._fire_count += 1
+        self._callback()
+        if self._running:
+            self._handle = self._simulator.schedule(self._next_interval(), self._fire)

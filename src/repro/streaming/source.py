@@ -1,0 +1,96 @@
+"""The stream emitter: drives packet publication on the simulator.
+
+:class:`StreamEmitter` walks a :class:`~repro.streaming.schedule.StreamSchedule`
+and invokes a callback for every packet at its publish time.  The gossip
+*source node* (see :mod:`repro.core.node`) registers its ``publish`` method as
+the callback: publishing a packet means delivering it locally and gossiping
+its id to the source fanout, exactly as ``publish(e)`` does in Algorithm 1.
+
+Keeping emission separate from the protocol lets tests drive a protocol node
+by hand and lets alternative sources (e.g. variable-bit-rate extensions) be
+plugged in without touching the gossip code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.engine import Simulator
+
+from repro.streaming.packets import PacketDescriptor
+from repro.streaming.schedule import StreamSchedule
+
+PublishCallback = Callable[[PacketDescriptor], None]
+
+
+class StreamEmitter:
+    """Publishes every packet of a schedule at its publish time.
+
+    Parameters
+    ----------
+    simulator:
+        Simulator to schedule publications on.
+    schedule:
+        The packet schedule to emit.
+    on_publish:
+        Callback invoked with each :class:`PacketDescriptor` at publish time.
+    payload_factory:
+        Optional callable producing the raw payload bytes for a packet; used
+        by end-to-end examples that exercise the real FEC codec.  The
+        simulator-only experiments leave it ``None`` to avoid allocating
+        megabytes of payload.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        schedule: StreamSchedule,
+        on_publish: PublishCallback,
+        payload_factory: Optional[Callable[[PacketDescriptor], bytes]] = None,
+    ) -> None:
+        self._simulator = simulator
+        self._schedule = schedule
+        self._on_publish = on_publish
+        self._payload_factory = payload_factory
+        self._started = False
+        self._published_count = 0
+        self._stopped = False
+
+    @property
+    def schedule(self) -> StreamSchedule:
+        """The schedule being emitted."""
+        return self._schedule
+
+    @property
+    def published_count(self) -> int:
+        """How many packets have been published so far."""
+        return self._published_count
+
+    @property
+    def finished(self) -> bool:
+        """Whether every packet of the schedule has been published."""
+        return self._published_count >= self._schedule.num_packets
+
+    def start(self) -> None:
+        """Schedule all publications.  Calling twice is an error."""
+        if self._started:
+            raise RuntimeError("StreamEmitter.start() called twice")
+        self._started = True
+        for descriptor in self._schedule.packets():
+            self._simulator.schedule_at(descriptor.publish_time, self._publish, descriptor)
+
+    def stop(self) -> None:
+        """Stop publishing any further packets (source crash scenarios)."""
+        self._stopped = True
+
+    def _publish(self, descriptor: PacketDescriptor) -> None:
+        if self._stopped:
+            return
+        self._published_count += 1
+        self._on_publish(descriptor)
+
+    def make_payload(self, descriptor: PacketDescriptor) -> Optional[bytes]:
+        """Produce the payload for a packet if a payload factory is set."""
+        if self._payload_factory is None:
+            return None
+        return self._payload_factory(descriptor)

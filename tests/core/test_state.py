@@ -1,0 +1,106 @@
+"""Unit tests for per-node protocol state."""
+
+from repro.core.state import NodeState, PendingRequest
+
+
+class TestDelivery:
+    def test_deliver_records_time(self):
+        state = NodeState()
+        assert state.deliver(1, 2.5)
+        assert state.has_delivered(1)
+        assert state.delivery_time(1) == 2.5
+        assert state.delivered_count == 1
+
+    def test_duplicate_delivery_is_rejected(self):
+        state = NodeState()
+        state.deliver(1, 2.5)
+        assert not state.deliver(1, 3.5)
+        assert state.delivery_time(1) == 2.5
+
+    def test_delivery_time_of_unknown_packet(self):
+        assert NodeState().delivery_time(9) is None
+
+    def test_delivered_set_snapshot(self):
+        state = NodeState()
+        state.deliver(1, 0.1)
+        state.deliver(2, 0.2)
+        snapshot = state.delivered_set()
+        assert snapshot == {1, 2}
+        snapshot.add(3)
+        assert not state.has_delivered(3)
+
+
+class TestProposalQueue:
+    def test_drain_returns_and_clears(self):
+        state = NodeState()
+        state.queue_for_proposal(1)
+        state.queue_for_proposal(2)
+        assert state.drain_proposals() == [1, 2]
+        assert state.drain_proposals() == []
+
+    def test_infect_and_die_semantics(self):
+        """Each delivered packet is proposed in exactly one round."""
+        state = NodeState()
+        state.deliver(7, 0.0)
+        state.queue_for_proposal(7)
+        first_round = state.drain_proposals()
+        second_round = state.drain_proposals()
+        assert first_round == [7]
+        assert second_round == []
+
+
+class TestRequestBookkeeping:
+    def test_never_requested_initially(self):
+        state = NodeState()
+        assert state.never_requested(5)
+        assert state.times_requested(5) == 0
+
+    def test_record_request_increments(self):
+        state = NodeState()
+        state.record_request(5)
+        state.record_request(5)
+        assert state.times_requested(5) == 2
+        assert not state.never_requested(5)
+
+    def test_may_request_again_respects_limit(self):
+        state = NodeState()
+        state.record_request(5)
+        assert state.may_request_again(5, max_attempts=2)
+        state.record_request(5)
+        assert not state.may_request_again(5, max_attempts=2)
+
+    def test_missing_from(self):
+        state = NodeState()
+        state.deliver(1, 0.0)
+        state.deliver(3, 0.0)
+        assert state.missing_from((1, 2, 3, 4)) == [2, 4]
+
+
+class TestPendingRequests:
+    def test_add_and_remove(self):
+        state = NodeState()
+        pending = PendingRequest(proposer=3, packet_ids=(1, 2))
+        state.add_pending(pending)
+        assert pending in state.pending_requests
+        state.remove_pending(pending)
+        assert pending not in state.pending_requests
+
+    def test_remove_unknown_pending_is_noop(self):
+        state = NodeState()
+        state.remove_pending(PendingRequest(proposer=3, packet_ids=(1,)))
+
+    def test_cancel_all_pending_disarms_timers(self, simulator):
+        from repro.simulation.timers import Timer
+
+        state = NodeState()
+        fired = []
+        for index in range(3):
+            pending = PendingRequest(proposer=index, packet_ids=(index,))
+            timer = Timer(simulator, lambda: fired.append(1))
+            timer.arm(1.0)
+            pending.timer = timer
+            state.add_pending(pending)
+        state.cancel_all_pending()
+        simulator.run_until_idle()
+        assert fired == []
+        assert state.pending_requests == []

@@ -1,0 +1,62 @@
+"""Tests for the ablation studies (run at the tiny scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ALL_ABLATIONS,
+    detection_delay_ablation,
+    fec_ablation,
+    retransmission_ablation,
+    source_fanout_ablation,
+)
+
+
+class TestRetransmissionAblation:
+    def test_structure_and_metrics(self, tiny_scale):
+        result = retransmission_ablation(tiny_scale, loss_probability=0.05)
+        assert result.figure_id == "ablation-retransmission"
+        assert len(result.series) == 4
+        for series in result.series:
+            assert series.xs() == [1.0, 2.0, 3.0]
+            assert all(0.0 <= y <= 100.0 for y in series.ys())
+
+    def test_retransmission_recovers_lost_packets(self, tiny_scale):
+        result = retransmission_ablation(tiny_scale, loss_probability=0.08)
+        delivery = result.series_by_label("% packets delivered")
+        assert delivery.y_at(2.0) >= delivery.y_at(1.0)
+
+
+class TestFecAblation:
+    def test_fec_improves_window_completeness_under_loss(self, tiny_scale):
+        result = fec_ablation(tiny_scale)
+        windows = result.series_by_label("avg % complete windows (20s lag)")
+        without_fec = windows.y_at(0.0)
+        with_fec = windows.y_at(float(tiny_scale.fec_packets_per_window))
+        assert with_fec >= without_fec
+
+    def test_grid_includes_zero_fec(self, tiny_scale):
+        result = fec_ablation(tiny_scale)
+        assert 0.0 in result.series[0].xs()
+
+
+class TestDetectionDelayAblation:
+    def test_oracle_detection_is_at_least_as_good_as_slow_detection(self, tiny_scale):
+        result = detection_delay_ablation(tiny_scale, churn_fraction=0.4, delays=(0.0, 10.0))
+        windows = result.series_by_label("avg % complete windows (20s lag)")
+        assert windows.y_at(0.0) >= windows.y_at(10.0) - 2.0
+
+    def test_custom_delay_grid_respected(self, tiny_scale):
+        result = detection_delay_ablation(tiny_scale, delays=(0.0, 3.0))
+        assert result.series[0].xs() == [0.0, 3.0]
+
+
+class TestSourceFanoutAblation:
+    def test_single_copy_source_is_fragile(self, tiny_scale):
+        result = source_fanout_ablation(tiny_scale, source_fanouts=(1, 5))
+        delivery = result.series_by_label("% packets delivered")
+        assert delivery.y_at(5.0) >= delivery.y_at(1.0)
+
+
+class TestRegistry:
+    def test_all_ablations_registered(self):
+        assert set(ALL_ABLATIONS) == {"retransmission", "fec", "detection-delay", "source-fanout"}

@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestListing:
+    def test_list_flag_prints_targets(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output
+        assert "figure8" in output
+        assert "ablation:fec" in output
+
+    def test_no_targets_prints_targets(self, capsys):
+        assert main([]) == 0
+        assert "figure1" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_figure_returns_error(self, capsys):
+        assert main(["figure99", "--scale", "smoke"]) == 2
+        assert "unknown target" in capsys.readouterr().out
+
+    def test_unknown_ablation_returns_error(self, capsys):
+        assert main(["ablation:nonexistent", "--scale", "smoke"]) == 2
+        assert "unknown ablation" in capsys.readouterr().out
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure1", "--scale", "galactic"])

@@ -1,0 +1,63 @@
+"""Unit tests for experiment points and the run cache."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentPoint, RunCache, run_point
+from repro.membership.partners import INFINITE
+
+
+class TestExperimentPoint:
+    def test_describe_includes_relevant_fields(self):
+        point = ExperimentPoint(
+            scale_name="tiny", fanout=7, cap_kbps=700.0, refresh_every=INFINITE,
+            feed_me_every=5, churn_fraction=0.2, seed_offset=3,
+        )
+        text = point.describe()
+        assert "fanout=7" in text
+        assert "cap=700kbps" in text
+        assert "X=inf" in text
+        assert "Y=5" in text
+        assert "churn=20%" in text
+        assert "seed+3" in text
+
+    def test_points_are_hashable_and_comparable(self):
+        first = ExperimentPoint(scale_name="tiny", fanout=4)
+        second = ExperimentPoint(scale_name="tiny", fanout=4)
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestRunPoint:
+    def test_run_point_produces_result(self, tiny_scale):
+        result = run_point(tiny_scale, ExperimentPoint(scale_name="tiny", fanout=4))
+        assert result.schedule.num_windows == tiny_scale.num_windows
+        assert result.delivery_ratio() > 0.8
+
+
+class TestRunCache:
+    def test_cache_avoids_reruns(self, tiny_scale):
+        cache = RunCache()
+        point = ExperimentPoint(scale_name="tiny", fanout=4)
+        first = cache.get(tiny_scale, point)
+        second = cache.get(tiny_scale, point)
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_distinct_points_run_separately(self, tiny_scale):
+        cache = RunCache()
+        cache.get(tiny_scale, ExperimentPoint(scale_name="tiny", fanout=4))
+        cache.get(tiny_scale, ExperimentPoint(scale_name="tiny", fanout=6))
+        assert cache.misses == 2
+
+    def test_scale_mismatch_rejected(self, tiny_scale):
+        cache = RunCache()
+        with pytest.raises(ValueError):
+            cache.get(tiny_scale, ExperimentPoint(scale_name="reduced", fanout=4))
+
+    def test_clear_empties_cache(self, tiny_scale):
+        cache = RunCache()
+        cache.get(tiny_scale, ExperimentPoint(scale_name="tiny", fanout=4))
+        cache.clear()
+        assert len(cache) == 0

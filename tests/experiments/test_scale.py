@@ -1,0 +1,80 @@
+"""Unit tests for experiment scales."""
+
+import pytest
+
+from repro.experiments.scale import PAPER, REDUCED, SMOKE, ExperimentScale, available_scales, scale_by_name
+from repro.membership.partners import INFINITE
+
+
+class TestPresets:
+    def test_lookup_by_name(self):
+        assert scale_by_name("smoke") is SMOKE
+        assert scale_by_name("reduced") is REDUCED
+        assert scale_by_name("paper") is PAPER
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            scale_by_name("galactic")
+
+    def test_available_scales(self):
+        assert available_scales() == ["paper", "reduced", "smoke"]
+
+    def test_paper_scale_matches_paper_constants(self):
+        stream = PAPER.stream_config()
+        assert PAPER.num_nodes == 230
+        assert stream.rate_kbps == 600.0
+        assert stream.packets_per_window == 110
+        assert stream.fec_packets_per_window == 9
+        assert PAPER.gossip_period == pytest.approx(0.2)
+        assert PAPER.source_fanout == 7
+
+    def test_smoke_scale_is_smaller_than_reduced(self):
+        assert SMOKE.num_nodes < REDUCED.num_nodes
+        assert SMOKE.stream_duration < REDUCED.stream_duration
+
+    def test_fanout_grids_fit_system_size(self):
+        for scale in (SMOKE, REDUCED, PAPER):
+            assert max(scale.fanout_grid) < scale.num_nodes
+
+
+class TestBuilders:
+    def test_session_config_defaults(self):
+        config = REDUCED.session_config()
+        assert config.num_nodes == REDUCED.num_nodes
+        assert config.gossip.fanout == REDUCED.optimal_fanout
+        assert config.network.upload_cap_kbps == pytest.approx(700.0)
+        assert config.churn is None
+        assert config.source_uncapped
+
+    def test_session_config_overrides(self):
+        config = REDUCED.session_config(
+            fanout=20, cap_kbps=2000.0, refresh_every=INFINITE, churn_fraction=0.3, seed_offset=5
+        )
+        assert config.gossip.fanout == 20
+        assert config.network.upload_cap_kbps == pytest.approx(2000.0)
+        assert config.gossip.refresh_every == INFINITE
+        assert config.churn is not None
+        assert config.seed == REDUCED.seed + 5
+
+    def test_network_config_uses_default_cap(self):
+        assert REDUCED.network_config().upload_cap_kbps == pytest.approx(700.0)
+        assert REDUCED.network_config(1000.0).upload_cap_kbps == pytest.approx(1000.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad",
+                num_nodes=10,
+                payload_bytes=1000,
+                source_packets_per_window=10,
+                fec_packets_per_window=1,
+                num_windows=5,
+                max_backlog_seconds=5.0,
+                extra_time=10.0,
+                fanout_grid=(20,),
+            )
+
+    def test_describe_mentions_name_and_size(self):
+        text = REDUCED.describe()
+        assert "reduced" in text
+        assert "60" in text

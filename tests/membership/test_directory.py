@@ -1,0 +1,115 @@
+"""Unit tests for the membership directory."""
+
+import math
+
+import pytest
+
+from repro.membership.directory import MembershipDirectory
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        directory = MembershipDirectory()
+        directory.add(1)
+        directory.add(2)
+        assert 1 in directory
+        assert 3 not in directory
+        assert len(directory) == 2
+        assert directory.members() == [1, 2]
+
+    def test_add_all(self):
+        directory = MembershipDirectory()
+        directory.add_all(range(5))
+        assert len(directory) == 5
+
+    def test_duplicate_add_rejected(self):
+        directory = MembershipDirectory()
+        directory.add(1)
+        with pytest.raises(ValueError):
+            directory.add(1)
+
+    def test_negative_detection_delay_rejected(self):
+        with pytest.raises(ValueError):
+            MembershipDirectory(detection_delay=-1.0)
+
+
+class TestFailures:
+    def test_mark_failed_records_time(self):
+        directory = MembershipDirectory()
+        directory.add_all(range(3))
+        directory.mark_failed(1, time=10.0)
+        assert directory.is_failed(1)
+        assert directory.failed_at(1) == 10.0
+        assert not directory.is_failed(0)
+
+    def test_mark_failed_unknown_node_rejected(self):
+        directory = MembershipDirectory()
+        with pytest.raises(KeyError):
+            directory.mark_failed(7, time=1.0)
+
+    def test_first_failure_time_is_kept(self):
+        directory = MembershipDirectory()
+        directory.add(1)
+        directory.mark_failed(1, time=5.0)
+        directory.mark_failed(1, time=9.0)
+        assert directory.failed_at(1) == 5.0
+
+    def test_mark_recovered_clears_failure(self):
+        directory = MembershipDirectory()
+        directory.add(1)
+        directory.mark_failed(1, time=5.0)
+        directory.mark_recovered(1)
+        assert not directory.is_failed(1)
+
+    def test_alive_members_excludes_failed(self):
+        directory = MembershipDirectory()
+        directory.add_all(range(4))
+        directory.mark_failed(2, time=1.0)
+        assert directory.alive_members() == [0, 1, 3]
+
+
+class TestSelectable:
+    def test_excludes_self(self):
+        directory = MembershipDirectory()
+        directory.add_all(range(4))
+        assert 2 not in directory.selectable(now=0.0, exclude=2)
+
+    def test_failed_node_still_selectable_before_detection(self):
+        directory = MembershipDirectory(detection_delay=5.0)
+        directory.add_all(range(4))
+        directory.mark_failed(1, time=10.0)
+        assert 1 in directory.selectable(now=12.0)
+
+    def test_failed_node_removed_after_detection_delay(self):
+        directory = MembershipDirectory(detection_delay=5.0)
+        directory.add_all(range(4))
+        directory.mark_failed(1, time=10.0)
+        assert 1 not in directory.selectable(now=15.0)
+        assert 1 not in directory.selectable(now=100.0)
+
+    def test_zero_detection_delay_removes_immediately(self):
+        directory = MembershipDirectory(detection_delay=0.0)
+        directory.add_all(range(3))
+        directory.mark_failed(2, time=4.0)
+        assert 2 not in directory.selectable(now=4.0)
+
+    def test_infinite_detection_delay_never_removes(self):
+        directory = MembershipDirectory(detection_delay=math.inf)
+        directory.add_all(range(3))
+        directory.mark_failed(2, time=4.0)
+        assert 2 in directory.selectable(now=1e9)
+
+
+class TestChurnCandidates:
+    def test_protected_nodes_excluded(self):
+        directory = MembershipDirectory()
+        directory.add_all(range(5))
+        candidates = directory.churn_candidates(protected=[0])
+        assert 0 not in candidates
+        assert set(candidates) == {1, 2, 3, 4}
+
+    def test_already_failed_nodes_excluded(self):
+        directory = MembershipDirectory()
+        directory.add_all(range(5))
+        directory.mark_failed(3, time=1.0)
+        assert 3 not in directory.churn_candidates()

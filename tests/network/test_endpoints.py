@@ -1,0 +1,49 @@
+"""Tests for the Endpoint protocol."""
+
+from repro.network.endpoints import Endpoint
+from repro.network.message import Message
+
+
+class MinimalEndpoint:
+    """A class that satisfies the Endpoint protocol without inheriting it."""
+
+    def __init__(self, node_id: int) -> None:
+        self._node_id = node_id
+        self.received = []
+
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    def on_message(self, message: Message) -> None:
+        self.received.append(message)
+
+
+class NotAnEndpoint:
+    """Missing on_message."""
+
+    node_id = 3
+
+
+class TestEndpointProtocol:
+    def test_structural_conformance(self):
+        assert isinstance(MinimalEndpoint(1), Endpoint)
+
+    def test_non_conforming_class_rejected(self):
+        assert not isinstance(NotAnEndpoint(), Endpoint)
+
+    def test_gossip_node_is_an_endpoint(self, simulator):
+        from repro.core.config import GossipConfig
+        from repro.core.node import GossipNode
+        from repro.membership.directory import MembershipDirectory
+        from repro.network.transport import Network
+        from repro.streaming.schedule import StreamConfig, StreamSchedule
+
+        directory = MembershipDirectory()
+        directory.add_all(range(3))
+        network = Network(simulator)
+        schedule = StreamSchedule(
+            StreamConfig(source_packets_per_window=2, fec_packets_per_window=0, num_windows=1)
+        )
+        node = GossipNode(0, simulator, network, directory, schedule, GossipConfig(fanout=1))
+        assert isinstance(node, Endpoint)

@@ -1,0 +1,91 @@
+"""Unit tests for the latency models."""
+
+import pytest
+
+from repro.network.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    PerNodeQualityLatency,
+    UniformLatency,
+)
+from repro.simulation.rng import RngRegistry
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(11)
+
+
+class TestConstantLatency:
+    def test_returns_fixed_delay(self):
+        model = ConstantLatency(0.08)
+        assert model.sample(1, 2) == 0.08
+        assert model.sample(5, 9) == 0.08
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.01)
+
+    def test_describe_mentions_value(self):
+        assert "80" in ConstantLatency(0.08).describe()
+
+
+class TestUniformLatency:
+    def test_samples_within_bounds(self, rng):
+        model = UniformLatency(rng, low=0.02, high=0.1)
+        samples = [model.sample(0, 1) for _ in range(200)]
+        assert all(0.02 <= value <= 0.1 for value in samples)
+
+    def test_samples_vary(self, rng):
+        model = UniformLatency(rng, low=0.02, high=0.1)
+        samples = {round(model.sample(0, 1), 6) for _ in range(50)}
+        assert len(samples) > 10
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            UniformLatency(rng, low=0.2, high=0.1)
+
+
+class TestLogNormalLatency:
+    def test_samples_are_positive_and_above_minimum(self, rng):
+        model = LogNormalLatency(rng, median=0.06, sigma=0.5, minimum=0.005)
+        samples = [model.sample(0, 1) for _ in range(500)]
+        assert all(value >= 0.005 for value in samples)
+
+    def test_median_is_roughly_respected(self, rng):
+        model = LogNormalLatency(rng, median=0.06, sigma=0.5)
+        samples = sorted(model.sample(0, 1) for _ in range(2000))
+        median = samples[len(samples) // 2]
+        assert 0.04 < median < 0.09
+
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LogNormalLatency(rng, median=0.0)
+
+
+class TestPerNodeQualityLatency:
+    def test_quality_factors_are_stable_per_node(self, rng):
+        model = PerNodeQualityLatency(rng, node_ids=list(range(10)))
+        assert model.quality(3) == model.quality(3)
+
+    def test_good_nodes_have_lower_latency_on_average(self, rng):
+        model = PerNodeQualityLatency(rng, node_ids=list(range(30)), jitter=0.0)
+        qualities = {node: model.quality(node) for node in range(30)}
+        best = min(qualities, key=qualities.get)
+        worst = max(qualities, key=qualities.get)
+        best_latency = sum(model.sample(best, best) for _ in range(20)) / 20
+        worst_latency = sum(model.sample(worst, worst) for _ in range(20)) / 20
+        assert best_latency < worst_latency
+
+    def test_sample_respects_minimum(self, rng):
+        model = PerNodeQualityLatency(rng, node_ids=[0, 1], base=0.001, minimum=0.005)
+        assert model.sample(0, 1) >= 0.005
+
+    def test_same_seed_same_qualities(self):
+        first = PerNodeQualityLatency(RngRegistry(3), node_ids=list(range(5)))
+        second = PerNodeQualityLatency(RngRegistry(3), node_ids=list(range(5)))
+        assert [first.quality(i) for i in range(5)] == [second.quality(i) for i in range(5)]
+
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PerNodeQualityLatency(rng, node_ids=[0], base=0.0)

@@ -1,0 +1,82 @@
+"""Unit tests for the in-flight loss models."""
+
+import pytest
+
+from repro.network.loss import CompositeLoss, NoLoss, PerNodeLoss, UniformLoss
+from repro.network.message import Message
+from repro.simulation.rng import RngRegistry
+
+
+def make_message(receiver: int = 1) -> Message:
+    return Message(sender=0, receiver=receiver, kind="serve", size_bytes=100)
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(5)
+
+
+class TestNoLoss:
+    def test_never_loses(self):
+        model = NoLoss()
+        assert not any(model.is_lost(make_message()) for _ in range(100))
+
+
+class TestUniformLoss:
+    def test_zero_probability_never_loses(self, rng):
+        model = UniformLoss(rng, probability=0.0)
+        assert not any(model.is_lost(make_message()) for _ in range(100))
+
+    def test_one_probability_always_loses(self, rng):
+        model = UniformLoss(rng, probability=1.0)
+        assert all(model.is_lost(make_message()) for _ in range(100))
+
+    def test_loss_rate_close_to_probability(self, rng):
+        model = UniformLoss(rng, probability=0.2)
+        losses = sum(model.is_lost(make_message()) for _ in range(5000))
+        assert 0.15 < losses / 5000 < 0.25
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            UniformLoss(rng, probability=1.5)
+
+
+class TestPerNodeLoss:
+    def test_uses_per_node_probability(self, rng):
+        model = PerNodeLoss(rng, probabilities={1: 1.0, 2: 0.0}, default=0.0)
+        assert model.is_lost(make_message(receiver=1))
+        assert not model.is_lost(make_message(receiver=2))
+
+    def test_default_applies_to_unknown_nodes(self, rng):
+        model = PerNodeLoss(rng, probabilities={}, default=1.0)
+        assert model.is_lost(make_message(receiver=99))
+
+    def test_probability_for(self, rng):
+        model = PerNodeLoss(rng, probabilities={3: 0.25}, default=0.05)
+        assert model.probability_for(3) == 0.25
+        assert model.probability_for(4) == 0.05
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PerNodeLoss(rng, probabilities={1: 2.0})
+
+
+class TestCompositeLoss:
+    def test_lost_if_any_component_loses(self, rng):
+        always = UniformLoss(rng, probability=1.0)
+        never = NoLoss()
+        model = CompositeLoss([never, always])
+        assert model.is_lost(make_message())
+
+    def test_not_lost_if_no_component_loses(self):
+        model = CompositeLoss([NoLoss(), NoLoss()])
+        assert not model.is_lost(make_message())
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeLoss([])
+
+    def test_describe_concatenates(self, rng):
+        model = CompositeLoss([NoLoss(), UniformLoss(rng, 0.1)])
+        assert "no random loss" in model.describe()
+        assert "0.100" in model.describe()

@@ -1,0 +1,176 @@
+"""Unit tests for the network transport."""
+
+import pytest
+
+from repro.network.bandwidth import BandwidthCap
+from repro.network.latency import ConstantLatency
+from repro.network.loss import UniformLoss
+from repro.network.message import Message
+from repro.network.transport import Network, NetworkConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RngRegistry
+
+
+class Recorder:
+    """Minimal endpoint: records (message, time) pairs."""
+
+    def __init__(self, simulator):
+        self.simulator = simulator
+        self.received = []
+
+    def __call__(self, message):
+        self.received.append((message, self.simulator.now))
+
+
+def build_network(simulator, latency=None, loss=None):
+    return Network(simulator, latency_model=latency or ConstantLatency(0.05), loss_model=loss)
+
+
+class TestRegistration:
+    def test_register_and_send(self, simulator):
+        network = build_network(simulator)
+        receiver = Recorder(simulator)
+        network.register(0, lambda m: None)
+        network.register(1, receiver)
+        assert network.is_registered(1)
+        assert network.is_alive(1)
+
+        accepted = network.send(Message(sender=0, receiver=1, kind="propose", size_bytes=100))
+        assert accepted
+        simulator.run_until_idle()
+        assert len(receiver.received) == 1
+
+    def test_double_registration_rejected(self, simulator):
+        network = build_network(simulator)
+        network.register(0, lambda m: None)
+        with pytest.raises(ValueError):
+            network.register(0, lambda m: None)
+
+    def test_unregistered_node_is_not_alive(self, simulator):
+        network = build_network(simulator)
+        assert not network.is_alive(42)
+
+
+class TestDeliveryTiming:
+    def test_latency_applied(self, simulator):
+        network = build_network(simulator, latency=ConstantLatency(0.2))
+        receiver = Recorder(simulator)
+        network.register(0, lambda m: None)
+        network.register(1, receiver)
+        network.send(Message(sender=0, receiver=1, kind="propose", size_bytes=100))
+        simulator.run_until_idle()
+        __, time = receiver.received[0]
+        assert time == pytest.approx(0.2)
+
+    def test_serialization_delay_added_for_capped_sender(self, simulator):
+        network = build_network(simulator, latency=ConstantLatency(0.1))
+        receiver = Recorder(simulator)
+        # 8000 bps: a 1000-byte message takes 1 s to serialize.
+        network.register(0, lambda m: None, cap=BandwidthCap(rate_bps=8000.0))
+        network.register(1, receiver)
+        network.send(Message(sender=0, receiver=1, kind="serve", size_bytes=1000))
+        simulator.run_until_idle()
+        __, time = receiver.received[0]
+        assert time == pytest.approx(1.1)
+
+    def test_messages_queue_behind_each_other(self, simulator):
+        network = build_network(simulator, latency=ConstantLatency(0.0))
+        receiver = Recorder(simulator)
+        network.register(0, lambda m: None, cap=BandwidthCap(rate_bps=8000.0))
+        network.register(1, receiver)
+        for _ in range(3):
+            network.send(Message(sender=0, receiver=1, kind="serve", size_bytes=1000))
+        simulator.run_until_idle()
+        times = [time for _, time in receiver.received]
+        assert times == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+
+class TestCongestionAndLoss:
+    def test_backlog_overflow_is_counted_as_congestion_drop(self, simulator):
+        network = build_network(simulator)
+        network.register(0, lambda m: None, cap=BandwidthCap(rate_bps=8000.0, max_backlog_seconds=1.0))
+        network.register(1, lambda m: None)
+        sent = [
+            network.send(Message(sender=0, receiver=1, kind="serve", size_bytes=900))
+            for _ in range(3)
+        ]
+        assert sent == [True, False, False]
+        assert network.stats.total_congestion_drops() == 2
+
+    def test_in_flight_loss_consumes_sender_bandwidth(self, simulator):
+        rng = RngRegistry(1)
+        network = build_network(simulator, loss=UniformLoss(rng, probability=1.0))
+        receiver = Recorder(simulator)
+        network.register(0, lambda m: None, cap=BandwidthCap(rate_bps=8000.0))
+        network.register(1, receiver)
+        accepted = network.send(Message(sender=0, receiver=1, kind="serve", size_bytes=1000))
+        simulator.run_until_idle()
+        assert accepted
+        assert receiver.received == []
+        assert network.stats.node(0).bytes_sent == 1000
+        assert network.stats.total_in_flight_losses() == 1
+
+
+class TestFailures:
+    def test_failed_sender_cannot_send(self, simulator):
+        network = build_network(simulator)
+        receiver = Recorder(simulator)
+        network.register(0, lambda m: None)
+        network.register(1, receiver)
+        network.fail_node(0)
+        assert not network.send(Message(sender=0, receiver=1, kind="propose", size_bytes=10))
+        simulator.run_until_idle()
+        assert receiver.received == []
+
+    def test_failed_receiver_gets_nothing(self, simulator):
+        network = build_network(simulator)
+        receiver = Recorder(simulator)
+        network.register(0, lambda m: None)
+        network.register(1, receiver)
+        network.send(Message(sender=0, receiver=1, kind="propose", size_bytes=10))
+        network.fail_node(1)
+        simulator.run_until_idle()
+        assert receiver.received == []
+
+    def test_recovered_node_receives_again(self, simulator):
+        network = build_network(simulator)
+        receiver = Recorder(simulator)
+        network.register(0, lambda m: None)
+        network.register(1, receiver)
+        network.fail_node(1)
+        network.recover_node(1)
+        network.send(Message(sender=0, receiver=1, kind="propose", size_bytes=10))
+        simulator.run_until_idle()
+        assert len(receiver.received) == 1
+
+
+class TestNetworkConfig:
+    def test_build_cap_uses_default_and_overrides(self):
+        config = NetworkConfig(upload_cap_kbps=700.0, per_node_caps_kbps={5: 2000.0})
+        assert config.build_cap(1).kbps() == pytest.approx(700.0)
+        assert config.build_cap(5).kbps() == pytest.approx(2000.0)
+
+    def test_build_cap_none_is_unlimited(self):
+        config = NetworkConfig(upload_cap_kbps=None)
+        assert config.build_cap(1).is_unlimited
+
+    def test_build_latency_models(self):
+        rng = RngRegistry(1)
+        node_ids = list(range(5))
+        for name in ("constant", "uniform", "lognormal", "per-node"):
+            config = NetworkConfig(latency_model=name)
+            model = config.build_latency(rng, node_ids)
+            assert model.sample(0, 1) >= 0.0
+
+    def test_build_latency_unknown_model_rejected(self):
+        config = NetworkConfig(latency_model="warp-speed")
+        with pytest.raises(ValueError):
+            config.build_latency(RngRegistry(1), [0, 1])
+
+    def test_build_loss(self):
+        rng = RngRegistry(1)
+        assert not NetworkConfig(random_loss=0.0).build_loss(rng).is_lost(
+            Message(sender=0, receiver=1, kind="x", size_bytes=1)
+        )
+        lossy = NetworkConfig(random_loss=1.0).build_loss(rng)
+        assert lossy.is_lost(Message(sender=0, receiver=1, kind="x", size_bytes=1))

@@ -1,0 +1,62 @@
+"""Property-based tests: GF(256) satisfies the field axioms."""
+
+from hypothesis import given, strategies as st
+
+from repro.streaming import gf256
+
+field_element = st.integers(min_value=0, max_value=255)
+nonzero_element = st.integers(min_value=1, max_value=255)
+
+
+class TestAdditionProperties:
+    @given(field_element, field_element)
+    def test_addition_commutative(self, a, b):
+        assert gf256.add(a, b) == gf256.add(b, a)
+
+    @given(field_element, field_element, field_element)
+    def test_addition_associative(self, a, b, c):
+        assert gf256.add(gf256.add(a, b), c) == gf256.add(a, gf256.add(b, c))
+
+    @given(field_element)
+    def test_zero_is_additive_identity(self, a):
+        assert gf256.add(a, 0) == a
+
+    @given(field_element)
+    def test_every_element_is_its_own_additive_inverse(self, a):
+        assert gf256.add(a, a) == 0
+
+
+class TestMultiplicationProperties:
+    @given(field_element, field_element)
+    def test_multiplication_commutative(self, a, b):
+        assert gf256.multiply(a, b) == gf256.multiply(b, a)
+
+    @given(field_element, field_element, field_element)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf256.multiply(gf256.multiply(a, b), c) == gf256.multiply(a, gf256.multiply(b, c))
+
+    @given(field_element)
+    def test_one_is_multiplicative_identity(self, a):
+        assert gf256.multiply(a, 1) == a
+
+    @given(field_element, field_element, field_element)
+    def test_distributivity(self, a, b, c):
+        left = gf256.multiply(a, gf256.add(b, c))
+        right = gf256.add(gf256.multiply(a, b), gf256.multiply(a, c))
+        assert left == right
+
+    @given(nonzero_element)
+    def test_inverse_property(self, a):
+        assert gf256.multiply(a, gf256.inverse(a)) == 1
+
+    @given(field_element, nonzero_element)
+    def test_division_is_multiplication_by_inverse(self, a, b):
+        assert gf256.divide(a, b) == gf256.multiply(a, gf256.inverse(b))
+
+    @given(field_element, nonzero_element)
+    def test_product_stays_in_field(self, a, b):
+        assert 0 <= gf256.multiply(a, b) <= 255
+
+    @given(nonzero_element, nonzero_element)
+    def test_no_zero_divisors(self, a, b):
+        assert gf256.multiply(a, b) != 0

@@ -1,0 +1,57 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation.engine import Simulator
+from repro.simulation.event_queue import EventQueue
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=100))
+    def test_events_always_pop_in_nondecreasing_time_order(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, lambda: None)
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.time)
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1, max_size=50),
+        st.data(),
+    )
+    def test_cancellation_never_loses_other_events(self, times, data):
+        queue = EventQueue()
+        handles = [queue.push(time, lambda: None) for time in times]
+        to_cancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(times) - 1), max_size=len(times))
+        )
+        for index in to_cancel:
+            handles[index].cancel()
+        surviving = 0
+        while queue.pop() is not None:
+            surviving += 1
+        assert surviving == len(times) - len(to_cancel)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=50))
+    @settings(deadline=None)
+    def test_clock_is_monotone_across_any_schedule(self, delays):
+        simulator = Simulator(seed=1)
+        observed = []
+        for delay in delays:
+            simulator.schedule(delay, lambda: observed.append(simulator.now))
+        simulator.run_until_idle()
+        assert observed == sorted(observed)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(min_size=1, max_size=20))
+    def test_named_streams_reproducible(self, seed, name):
+        first = Simulator(seed=seed).rng.stream(name).random()
+        second = Simulator(seed=seed).rng.stream(name).random()
+        assert first == second

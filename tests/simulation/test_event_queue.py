@@ -1,0 +1,81 @@
+"""Unit tests for the cancellable event queue."""
+
+import pytest
+
+from repro.simulation.errors import SimulationTimeError
+from repro.simulation.event_queue import EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue_has_no_next_time(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.peek_time() is None
+        assert queue.pop() is None
+
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, order.append, "c")
+        queue.push(1.0, order.append, "a")
+        queue.push(2.0, order.append, "b")
+        while queue:
+            event = queue.pop()
+            event.callback(*event.args)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_pop_in_insertion_order(self):
+        queue = EventQueue()
+        labels = []
+        for label in ["first", "second", "third"]:
+            queue.push(1.0, labels.append, label)
+        popped = [queue.pop() for _ in range(3)]
+        for event in popped:
+            event.callback(*event.args)
+        assert labels == ["first", "second", "third"]
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationTimeError):
+            queue.push(-1.0, lambda: None)
+
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.push(1.0, fired.append, "cancelled")
+        queue.push(2.0, fired.append, "kept")
+        handle.cancel()
+        assert len(queue) == 1
+        event = queue.pop()
+        event.callback(*event.args)
+        assert fired == ["kept"]
+
+    def test_cancelling_twice_is_harmless(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert len(queue) == 0
+
+    def test_peek_time_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        head.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_len_counts_only_live_events(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(5)]
+        handles[0].cancel()
+        handles[3].cancel()
+        assert len(queue) == 3
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        for i in range(4):
+            queue.push(float(i), lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None

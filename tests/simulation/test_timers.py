@@ -1,0 +1,114 @@
+"""Unit tests for one-shot and periodic timers."""
+
+import pytest
+
+from repro.simulation.timers import PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self, simulator):
+        fired = []
+        timer = Timer(simulator, lambda: fired.append(simulator.now))
+        timer.arm(2.0)
+        simulator.run_until_idle()
+        assert fired == [pytest.approx(2.0)]
+        assert timer.fired
+
+    def test_cancel_prevents_firing(self, simulator):
+        fired = []
+        timer = Timer(simulator, lambda: fired.append(1))
+        timer.arm(1.0)
+        timer.cancel()
+        simulator.run_until_idle()
+        assert fired == []
+        assert not timer.fired
+
+    def test_rearm_supersedes_previous_schedule(self, simulator):
+        fired = []
+        timer = Timer(simulator, lambda: fired.append(simulator.now))
+        timer.arm(1.0)
+        timer.arm(5.0)
+        simulator.run_until_idle()
+        assert fired == [pytest.approx(5.0)]
+
+    def test_armed_reports_state(self, simulator):
+        timer = Timer(simulator, lambda: None)
+        assert not timer.armed
+        timer.arm(1.0)
+        assert timer.armed
+        simulator.run_until_idle()
+        assert not timer.armed
+
+    def test_timer_can_be_armed_again_after_firing(self, simulator):
+        fired = []
+        timer = Timer(simulator, lambda: fired.append(simulator.now))
+        timer.arm(1.0)
+        simulator.run_until_idle()
+        timer.arm(1.0)
+        simulator.run_until_idle()
+        assert fired == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self, simulator):
+        fired = []
+        timer = PeriodicTimer(simulator, 1.0, lambda: fired.append(simulator.now))
+        timer.start()
+        simulator.run(until=3.5)
+        assert fired == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+        assert timer.fire_count == 3
+
+    def test_custom_start_delay(self, simulator):
+        fired = []
+        timer = PeriodicTimer(
+            simulator, 1.0, lambda: fired.append(simulator.now), start_delay=0.25
+        )
+        timer.start()
+        simulator.run(until=2.0)
+        assert fired[0] == pytest.approx(0.25)
+        assert fired[1] == pytest.approx(1.25)
+
+    def test_stop_halts_future_fires(self, simulator):
+        fired = []
+        timer = PeriodicTimer(simulator, 1.0, lambda: fired.append(simulator.now))
+        timer.start()
+        simulator.run(until=2.5)
+        timer.stop()
+        simulator.run(until=10.0)
+        assert len(fired) == 2
+        assert not timer.running
+
+    def test_double_start_is_noop(self, simulator):
+        timer = PeriodicTimer(simulator, 1.0, lambda: None)
+        timer.start()
+        timer.start()
+        simulator.run(until=3.5)
+        assert timer.fire_count == 3
+
+    def test_invalid_period_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            PeriodicTimer(simulator, 0.0, lambda: None)
+
+    def test_invalid_jitter_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            PeriodicTimer(simulator, 1.0, lambda: None, jitter=1.5)
+
+    def test_jittered_timer_keeps_firing(self, simulator):
+        fired = []
+        timer = PeriodicTimer(simulator, 1.0, lambda: fired.append(simulator.now), jitter=0.3)
+        timer.start()
+        simulator.run(until=20.0)
+        assert 14 <= len(fired) <= 28
+        # Intervals stay within the configured jitter band.
+        intervals = [b - a for a, b in zip(fired, fired[1:])]
+        assert all(0.69 <= interval <= 1.31 for interval in intervals)
+
+    def test_stop_and_restart(self, simulator):
+        fired = []
+        timer = PeriodicTimer(simulator, 1.0, lambda: fired.append(simulator.now))
+        timer.start()
+        simulator.run(until=1.5)
+        timer.stop()
+        timer.start()
+        simulator.run(until=3.0)
+        assert len(fired) == 2

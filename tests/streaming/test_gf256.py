@@ -1,0 +1,124 @@
+"""Unit tests for GF(256) arithmetic and the small matrix helper."""
+
+import pytest
+
+from repro.streaming import gf256
+from repro.streaming.gf256 import Matrix
+
+
+class TestFieldArithmetic:
+    def test_add_is_xor(self):
+        assert gf256.add(0b1010, 0b0110) == 0b1100
+
+    def test_add_self_is_zero(self):
+        for value in range(256):
+            assert gf256.add(value, value) == 0
+
+    def test_multiply_by_zero(self):
+        assert gf256.multiply(0, 123) == 0
+        assert gf256.multiply(123, 0) == 0
+
+    def test_multiply_by_one_is_identity(self):
+        for value in range(256):
+            assert gf256.multiply(value, 1) == value
+
+    def test_multiply_commutative_on_samples(self):
+        for a, b in [(3, 7), (200, 45), (255, 254), (16, 16)]:
+            assert gf256.multiply(a, b) == gf256.multiply(b, a)
+
+    def test_known_product(self):
+        # 2 * 128 wraps through the primitive polynomial 0x11d: 0x100 ^ 0x11d = 0x1d.
+        assert gf256.multiply(2, 128) == 0x1D
+
+    def test_divide_inverts_multiply(self):
+        for a in [1, 7, 100, 255]:
+            for b in [1, 3, 77, 254]:
+                assert gf256.divide(gf256.multiply(a, b), b) == a
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.divide(5, 0)
+
+    def test_inverse(self):
+        for value in range(1, 256):
+            assert gf256.multiply(value, gf256.inverse(value)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.inverse(0)
+
+    def test_power(self):
+        assert gf256.power(2, 0) == 1
+        assert gf256.power(2, 1) == 2
+        assert gf256.power(2, 8) == gf256.multiply(gf256.power(2, 4), gf256.power(2, 4))
+
+    def test_power_of_zero(self):
+        assert gf256.power(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf256.power(0, -1)
+
+
+class TestRowOperations:
+    def test_multiply_row(self):
+        row = [1, 2, 3]
+        assert gf256.multiply_row(1, row) == row
+        assert gf256.multiply_row(0, row) == [0, 0, 0]
+        doubled = gf256.multiply_row(2, row)
+        assert doubled == [gf256.multiply(2, value) for value in row]
+
+    def test_add_rows(self):
+        assert gf256.add_rows([1, 2, 3], [1, 2, 3]) == [0, 0, 0]
+        assert gf256.add_rows([1, 0], [0, 1]) == [1, 1]
+
+    def test_add_rows_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gf256.add_rows([1], [1, 2])
+
+    def test_multiply_accumulate(self):
+        target = [0, 0, 0]
+        gf256.multiply_accumulate(target, 3, [1, 2, 3])
+        assert target == [gf256.multiply(3, v) for v in [1, 2, 3]]
+        gf256.multiply_accumulate(target, 3, [1, 2, 3])
+        assert target == [0, 0, 0]
+
+
+class TestMatrix:
+    def test_identity(self):
+        identity = Matrix.identity(3)
+        assert identity.rows == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_multiply_vector_rows_with_identity(self):
+        identity = Matrix.identity(2)
+        data = [[10, 20, 30], [40, 50, 60]]
+        assert identity.multiply_vector_rows(data) == data
+
+    def test_inverted_identity_is_identity(self):
+        identity = Matrix.identity(4)
+        assert identity.inverted().rows == Matrix.identity(4).rows
+
+    def test_inverse_times_matrix_is_identity(self):
+        matrix = Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 10]])
+        inverse = matrix.inverted()
+        # Multiply inverse by each column of the original expressed as data rows.
+        columns = [[row[c] for row in matrix.rows] for c in range(3)]
+        product_columns = [inverse.multiply_vector_rows([[v] for v in column]) for column in columns]
+        product = [[product_columns[c][r][0] for c in range(3)] for r in range(3)]
+        assert product == Matrix.identity(3).rows
+
+    def test_singular_matrix_rejected(self):
+        singular = Matrix([[1, 2], [1, 2]])
+        with pytest.raises(ValueError):
+            singular.inverted()
+
+    def test_non_square_inversion_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2, 3], [4, 5, 6]]).inverted()
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix([[0, 300]])
+
+    def test_dimension_mismatch_rejected(self):
+        matrix = Matrix([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            matrix.multiply_vector_rows([[1, 2, 3]])

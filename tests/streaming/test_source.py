@@ -1,0 +1,74 @@
+"""Unit tests for the stream emitter."""
+
+import pytest
+
+from repro.streaming.schedule import StreamConfig, StreamSchedule
+from repro.streaming.source import StreamEmitter
+
+
+@pytest.fixture
+def schedule() -> StreamSchedule:
+    return StreamSchedule(
+        StreamConfig(
+            rate_kbps=600.0,
+            payload_bytes=1000,
+            source_packets_per_window=5,
+            fec_packets_per_window=1,
+            num_windows=2,
+        )
+    )
+
+
+class TestStreamEmitter:
+    def test_publishes_every_packet_at_its_time(self, simulator, schedule):
+        published = []
+        emitter = StreamEmitter(simulator, schedule, lambda d: published.append((d.packet_id, simulator.now)))
+        emitter.start()
+        simulator.run_until_idle()
+        assert len(published) == schedule.num_packets
+        assert emitter.finished
+        for packet_id, time in published:
+            assert time == pytest.approx(schedule.packet(packet_id).publish_time)
+
+    def test_publish_order_matches_packet_ids(self, simulator, schedule):
+        published = []
+        emitter = StreamEmitter(simulator, schedule, lambda d: published.append(d.packet_id))
+        emitter.start()
+        simulator.run_until_idle()
+        assert published == list(range(schedule.num_packets))
+
+    def test_double_start_rejected(self, simulator, schedule):
+        emitter = StreamEmitter(simulator, schedule, lambda d: None)
+        emitter.start()
+        with pytest.raises(RuntimeError):
+            emitter.start()
+
+    def test_stop_halts_publication(self, simulator, schedule):
+        published = []
+        emitter = StreamEmitter(simulator, schedule, lambda d: published.append(d.packet_id))
+        emitter.start()
+        simulator.run(until=schedule.config.packet_interval * 3.5)
+        emitter.stop()
+        simulator.run_until_idle()
+        assert len(published) == 4
+        assert not emitter.finished
+
+    def test_published_count_tracks_progress(self, simulator, schedule):
+        emitter = StreamEmitter(simulator, schedule, lambda d: None)
+        emitter.start()
+        simulator.run(until=schedule.config.packet_interval * 2.5)
+        assert emitter.published_count == 3
+
+    def test_payload_factory_is_used(self, simulator, schedule):
+        emitter = StreamEmitter(
+            simulator,
+            schedule,
+            lambda d: None,
+            payload_factory=lambda d: bytes([d.packet_id % 256]) * 4,
+        )
+        descriptor = schedule.packet(3)
+        assert emitter.make_payload(descriptor) == b"\x03\x03\x03\x03"
+
+    def test_payload_none_without_factory(self, simulator, schedule):
+        emitter = StreamEmitter(simulator, schedule, lambda d: None)
+        assert emitter.make_payload(schedule.packet(0)) is None

@@ -1,0 +1,41 @@
+"""The package's public import surface stays importable and consistent."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name} but it is missing"
+
+    def test_core_entry_points_exposed(self):
+        assert callable(repro.run_session)
+        assert callable(repro.StreamingSession)
+        assert callable(repro.GossipConfig)
+        assert callable(repro.SessionConfig)
+
+    def test_substrate_types_exposed(self):
+        assert callable(repro.BandwidthCap)
+        assert callable(repro.ReedSolomonCode)
+        assert callable(repro.CatastrophicChurn)
+        assert callable(repro.StreamConfig)
+
+    def test_recommended_fanout_matches_membership_helper(self):
+        from repro.membership.partners import recommended_fanout
+
+        assert repro.recommended_fanout is recommended_fanout
+
+    def test_infinite_sentinel_is_float_inf(self):
+        import math
+
+        assert repro.INFINITE == math.inf
+        assert repro.OFFLINE_LAG == math.inf
+
+    def test_experiments_package_importable(self):
+        from repro import experiments
+
+        assert hasattr(experiments, "figure1_fanout_700")
+        assert hasattr(experiments, "REDUCED")
