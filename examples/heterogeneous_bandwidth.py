@@ -9,6 +9,12 @@ runs a genuinely heterogeneous capacity distribution (a "cable/DSL mix"),
 showing how the gossip protocol naturally shifts load onto the nodes that can
 afford it while the stream stays viewable.
 
+All three configurations come from the scenario registry: the homogeneous
+points are the ``homogeneous`` scenario at two caps, the mix is the
+``heterogeneous-bandwidth`` scenario (30 % strong peers at 2 Mbps, 70 % weak
+peers at 500 kbps — the weak class alone cannot sustain the 600 kbps
+stream).
+
 Run with::
 
     python examples/heterogeneous_bandwidth.py
@@ -18,8 +24,9 @@ from __future__ import annotations
 
 import time
 
-from repro import GossipConfig, NetworkConfig, SessionConfig, StreamConfig, run_session
+from repro import StreamConfig
 from repro.metrics.report import format_table
+from repro.scenarios import build_scenario, run_spec
 
 
 def build_stream() -> StreamConfig:
@@ -30,50 +37,6 @@ def build_stream() -> StreamConfig:
         fec_packets_per_window=2,
         num_windows=60,
     )
-
-
-def cable_dsl_mix(num_nodes: int) -> dict:
-    """A two-class capacity distribution: 30% strong peers, 70% weak peers.
-
-    Strong peers get 2000 kbps of upload, weak peers 500 kbps — the weak class
-    alone cannot sustain the 600 kbps stream, so the system only works if the
-    strong class picks up the slack.
-    """
-    caps = {}
-    for node_id in range(1, num_nodes):
-        caps[node_id] = 2000.0 if node_id % 10 < 3 else 500.0
-    return caps
-
-
-def run_homogeneous(num_nodes: int, cap_kbps: float, seed: int):
-    return run_session(
-        SessionConfig(
-            num_nodes=num_nodes,
-            seed=seed,
-            gossip=GossipConfig(fanout=7),
-            stream=build_stream(),
-            network=NetworkConfig(upload_cap_kbps=cap_kbps, max_backlog_seconds=10.0),
-            extra_time=30.0,
-        )
-    )
-
-
-def run_heterogeneous(num_nodes: int, seed: int):
-    caps = cable_dsl_mix(num_nodes)
-    return run_session(
-        SessionConfig(
-            num_nodes=num_nodes,
-            seed=seed,
-            gossip=GossipConfig(fanout=7),
-            stream=build_stream(),
-            network=NetworkConfig(
-                upload_cap_kbps=700.0,
-                per_node_caps_kbps=caps,
-                max_backlog_seconds=10.0,
-            ),
-            extra_time=30.0,
-        )
-    ), caps
 
 
 def summarize(label: str, result, caps=None) -> list:
@@ -106,13 +69,25 @@ def main() -> None:
     rows = []
     for label, cap in [("homogeneous 700 kbps", 700.0), ("homogeneous 2000 kbps", 2000.0)]:
         started = time.time()
-        result = run_homogeneous(num_nodes, cap, seed)
-        rows.append(summarize(label, result))
+        spec = build_scenario(
+            "homogeneous",
+            num_nodes=num_nodes,
+            seed=seed,
+            stream=build_stream(),
+            upload_cap_kbps=cap,
+        )
+        rows.append(summarize(label, run_spec(spec)))
         print(f"  {label:<24} done in {time.time() - started:.1f}s")
 
     started = time.time()
-    heterogeneous_result, caps = run_heterogeneous(num_nodes, seed)
-    rows.append(summarize("cable/DSL mix (2000/500)", heterogeneous_result, caps))
+    mix_spec = build_scenario(
+        "heterogeneous-bandwidth",
+        num_nodes=num_nodes,
+        seed=seed,
+        stream=build_stream(),
+    )
+    caps = mix_spec.per_node_caps()
+    rows.append(summarize("cable/DSL mix (2000/500)", run_spec(mix_spec), caps))
     print(f"  {'cable/DSL mix (2000/500)':<24} done in {time.time() - started:.1f}s\n")
 
     print(

@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: stream to a small swarm and print the paper's two metrics.
 
-Runs one gossip streaming session — one source, 39 receivers, 700 kbps upload
-caps, fanout 7, partner refresh every round — and reports stream quality
-(percentage of nodes viewing with < 1 % jitter) at several playout lags,
-stream lag statistics, and the per-node upload usage summary.
+Runs the ``homogeneous`` scenario from the scenario registry — one source,
+39 receivers, 700 kbps upload caps, fanout 7, partner refresh every round —
+and reports stream quality (percentage of nodes viewing with < 1 % jitter)
+at several playout lags, stream lag statistics, and the per-node upload
+usage summary.
+
+Every experiment shape in this repository is a named
+:class:`~repro.scenarios.ScenarioSpec`; ``run_scenario(name, **overrides)``
+compiles it through the :class:`~repro.scenarios.SessionBuilder` and runs
+it.  List the available shapes with ``available_scenarios()``.
 
 Run with::
 
@@ -15,22 +21,16 @@ from __future__ import annotations
 
 import time
 
-from repro import (
-    GossipConfig,
-    NetworkConfig,
-    SessionConfig,
-    StreamConfig,
-    StreamingSession,
-    OFFLINE_LAG,
-)
+from repro import OFFLINE_LAG, StreamConfig, available_scenarios
 from repro.metrics.report import format_table
+from repro.scenarios import build_scenario, run_spec
 
 
 def main() -> None:
-    config = SessionConfig(
+    spec = build_scenario(
+        "homogeneous",
         num_nodes=40,
         seed=2024,
-        gossip=GossipConfig(fanout=7, refresh_every=1),
         stream=StreamConfig(
             rate_kbps=600.0,
             payload_bytes=1000,
@@ -38,14 +38,13 @@ def main() -> None:
             fec_packets_per_window=2,
             num_windows=60,
         ),
-        network=NetworkConfig(upload_cap_kbps=700.0, max_backlog_seconds=10.0),
-        extra_time=30.0,
     )
 
-    print("Building and running the streaming session "
-          f"({config.num_nodes} nodes, {config.stream.duration:.0f}s of 600 kbps stream)...")
+    print(f"Available scenarios: {', '.join(available_scenarios())}")
+    print(f"Running {spec.describe()}")
+    print(f"({spec.num_nodes} nodes, {spec.stream.duration:.0f}s of 600 kbps stream)...")
     started = time.time()
-    result = StreamingSession(config).run()
+    result = run_spec(spec)
     elapsed = time.time() - started
     print(f"Done in {elapsed:.1f}s of wall-clock time "
           f"({result.events_processed:,} simulated events).\n")

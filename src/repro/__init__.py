@@ -20,10 +20,26 @@ from repro.core.config import GossipConfig, MessageSizeModel
 from repro.core.node import GossipNode, NodeStats
 from repro.core.session import SessionConfig, SessionResult, StreamingSession, run_session
 from repro.membership.churn import CatastrophicChurn, NoChurn, StaggeredChurn
+from repro.membership.join import FlashCrowdJoin
 from repro.membership.partners import INFINITE, recommended_fanout
 from repro.metrics.quality import OFFLINE_LAG, StreamQualityAnalyzer
 from repro.network.bandwidth import BandwidthCap
 from repro.network.transport import Network, NetworkConfig
+from repro.protocols import (
+    DisseminationProtocol,
+    EagerPush,
+    ThreePhaseGossip,
+    available_protocols,
+    register_protocol,
+)
+from repro.scenarios import (
+    BandwidthClass,
+    ScenarioSpec,
+    SessionBuilder,
+    available_scenarios,
+    register_scenario,
+    run_scenario,
+)
 from repro.simulation.engine import Simulator
 from repro.streaming.fec import ReedSolomonCode, WindowCodec
 from repro.streaming.schedule import StreamConfig, StreamSchedule
@@ -32,7 +48,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BandwidthCap",
+    "BandwidthClass",
     "CatastrophicChurn",
+    "DisseminationProtocol",
+    "EagerPush",
+    "FlashCrowdJoin",
     "GossipConfig",
     "GossipNode",
     "INFINITE",
@@ -43,6 +63,8 @@ __all__ = [
     "NodeStats",
     "OFFLINE_LAG",
     "ReedSolomonCode",
+    "ScenarioSpec",
+    "SessionBuilder",
     "SessionConfig",
     "SessionResult",
     "Simulator",
@@ -51,8 +73,14 @@ __all__ = [
     "StreamQualityAnalyzer",
     "StreamSchedule",
     "StreamingSession",
+    "ThreePhaseGossip",
     "WindowCodec",
+    "available_protocols",
+    "available_scenarios",
     "recommended_fanout",
+    "register_protocol",
+    "register_scenario",
+    "run_scenario",
     "run_session",
     "__version__",
 ]

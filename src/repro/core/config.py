@@ -87,7 +87,6 @@ class GossipConfig:
     max_request_attempts: int = 2
     source_fanout: int = 7
     desynchronize_rounds: bool = True
-    propose_when_empty: bool = False
     sizes: MessageSizeModel = field(default_factory=MessageSizeModel)
 
     def __post_init__(self) -> None:

@@ -32,7 +32,7 @@ FEED_ME = "feed-me"
 """Message kind tag for the Y-mechanism view-insertion requests."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposePayload:
     """Phase 1: the sender advertises packet ids it can serve."""
 
@@ -46,7 +46,7 @@ class ProposePayload:
         return len(self.packet_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestPayload:
     """Phase 2: the sender pulls the packets it is missing."""
 
@@ -60,7 +60,7 @@ class RequestPayload:
         return len(self.packet_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServedPacket:
     """One stream packet carried inside a SERVE message.
 
@@ -78,14 +78,14 @@ class ServedPacket:
             raise ValueError(f"served packet size must be positive, got {self.size_bytes!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServePayload:
     """Phase 3: the actual packet content."""
 
     packet: ServedPacket
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FeedMePayload:
     """Ask the receiver to insert the sender into its partner view."""
 

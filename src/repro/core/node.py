@@ -1,13 +1,21 @@
-"""The gossip node engine: Algorithm 1, one instance per node.
+"""The gossip node host: timers, state, partner selection and network I/O.
 
-A :class:`GossipNode` owns the per-node protocol state and timers and talks
-to three substrates:
+A :class:`GossipNode` owns the per-node machinery and talks to three
+substrates:
 
-* the **network** (:class:`repro.network.Network`) to send PROPOSE / REQUEST /
-  SERVE / FEED_ME datagrams and to receive them via :meth:`on_message`;
+* the **network** (:class:`repro.network.Network`) to send datagrams and to
+  receive them via :meth:`on_message`;
 * the **membership directory** through its :class:`PartnerSelector`, which
   implements the fanout and the view refresh rate ``X``;
 * the **stream schedule**, used to look up packet sizes when serving.
+
+What the node actually *sends* is decided by a pluggable
+:class:`~repro.protocols.base.DisseminationProtocol` strategy: the host fires
+its hooks at every timer tick, publication and message arrival, passing along
+any randomness it has already drawn (partner sets, source targets).  The
+default strategy is the paper's :class:`~repro.protocols.ThreePhaseGossip`
+(Algorithm 1); alternatives such as eager push plug in without touching this
+class.
 
 The same class plays both roles of the paper's deployment: ordinary nodes
 (driven by their gossip timer) and the source (whose :meth:`publish` is
@@ -17,38 +25,27 @@ called by the :class:`repro.streaming.StreamEmitter` for every packet, as
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import partial
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.membership.directory import MembershipDirectory
 from repro.membership.partners import INFINITE, PartnerSelector
 from repro.network.message import Message, NodeId
 from repro.network.transport import Network
+from repro.protocols.base import DisseminationProtocol
 from repro.simulation.engine import Simulator
-from repro.simulation.timers import PeriodicTimer, Timer
+from repro.simulation.timers import PeriodicTimer
 from repro.streaming.packets import PacketDescriptor, PacketId
 from repro.streaming.schedule import StreamSchedule
 
 from repro.core.config import GossipConfig
-from repro.core.messages import (
-    FEED_ME,
-    PROPOSE,
-    REQUEST,
-    SERVE,
-    FeedMePayload,
-    ProposePayload,
-    RequestPayload,
-    ServePayload,
-    ServedPacket,
-)
-from repro.core.state import NodeState, PendingRequest
+from repro.core.state import NodeState
 
 DeliveryListener = Callable[[NodeId, PacketId, float], None]
 """Callback invoked on every first-time packet delivery (node, packet, time)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
     """Protocol-level counters of one node (all monotonically increasing)."""
 
@@ -97,8 +94,12 @@ class GossipNode:
         metrics layer uses it to build the delivery log.
     is_source:
         Whether this node is the stream source.  The source delivers packets
-        through :meth:`publish` and proposes each one immediately to
-        ``config.source_fanout`` random nodes.
+        through :meth:`publish` and hands each one immediately to the
+        protocol with ``config.source_fanout`` random targets.
+    protocol:
+        The dissemination strategy.  ``None`` (the default) instantiates the
+        paper's :class:`~repro.protocols.ThreePhaseGossip`.  The instance is
+        bound to this node and must not be shared across nodes.
     """
 
     def __init__(
@@ -111,6 +112,7 @@ class GossipNode:
         config: GossipConfig,
         delivery_listener: Optional[DeliveryListener] = None,
         is_source: bool = False,
+        protocol: Optional[DisseminationProtocol] = None,
     ) -> None:
         self.node_id = node_id
         self.is_source = is_source
@@ -123,6 +125,12 @@ class GossipNode:
         self.state = NodeState()
         self.stats = NodeStats()
         self._alive = True
+
+        if protocol is None:
+            from repro.protocols.three_phase import ThreePhaseGossip
+
+            protocol = ThreePhaseGossip()
+        self.protocol = protocol
 
         self._partner_rng = simulator.rng.node_stream("partners", node_id)
         self._partners = PartnerSelector(
@@ -165,6 +173,10 @@ class GossipNode:
                 simulator, feed_me_period, self._on_feed_me_round, start_delay=feed_me_period
             )
 
+        # Bind last: strategies may inspect the full ProtocolHost surface
+        # (partners, timers) from an overridden bind().
+        protocol.bind(self)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -178,6 +190,21 @@ class GossipNode:
         """This node's partner selector (exposed for tests and experiments)."""
         return self._partners
 
+    @property
+    def simulator(self) -> Simulator:
+        """The simulator this node runs on (exposed for protocol strategies)."""
+        return self._simulator
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._simulator.now
+
+    @property
+    def schedule(self) -> StreamSchedule:
+        """The stream schedule (packet sizes and publish times)."""
+        return self._schedule
+
     def start(self) -> None:
         """Start the node's timers.  Must be called once per experiment."""
         self._gossip_timer.start()
@@ -190,6 +217,7 @@ class GossipNode:
         self._gossip_timer.stop()
         if self._feed_me_timer is not None:
             self._feed_me_timer.stop()
+        self.protocol.on_fail()
         self.state.cancel_all_pending()
 
     # ------------------------------------------------------------------
@@ -198,21 +226,15 @@ class GossipNode:
     def publish(self, descriptor: PacketDescriptor) -> None:
         """Publish one stream packet (Algorithm 1, ``publish(e)``).
 
-        The packet is delivered locally and its id proposed immediately to
-        ``source_fanout`` uniformly random nodes.
+        The packet is delivered locally and handed to the protocol together
+        with ``source_fanout`` uniformly random target nodes.
         """
         if not self._alive:
             return
         now = self._simulator.now
-        self._deliver(descriptor.packet_id, now)
+        self.deliver(descriptor.packet_id, now)
         targets = self._pick_source_targets(now)
-        if not targets:
-            return
-        payload = ProposePayload(packet_ids=(descriptor.packet_id,))
-        size = self.config.sizes.propose_size(1)
-        for target in targets:
-            self._send(target, PROPOSE, size, payload)
-        self.stats.proposes_sent += len(targets)
+        self.protocol.on_publish(descriptor, targets, now)
 
     def _pick_source_targets(self, now: float) -> List[NodeId]:
         if self._source_selector is None:
@@ -224,7 +246,7 @@ class GossipNode:
         return list(self._source_targets)
 
     # ------------------------------------------------------------------
-    # Gossip round (phase 1: push ids)
+    # Timer ticks
     # ------------------------------------------------------------------
     def _on_gossip_round(self) -> None:
         if not self._alive:
@@ -232,36 +254,14 @@ class GossipNode:
         now = self._simulator.now
         self.stats.gossip_rounds += 1
         partners = self._partners.partners_for_round(now)
-        packet_ids = self.state.drain_proposals()
-        if not packet_ids and not self.config.propose_when_empty:
-            return
-        if not partners:
-            return
-        if packet_ids:
-            payload = ProposePayload(packet_ids=tuple(packet_ids))
-            size = self.config.sizes.propose_size(len(packet_ids))
-        else:
-            payload = None
-            size = self.config.sizes.propose_size(0)
-        for target in partners:
-            if payload is None:
-                continue
-            self._send(target, PROPOSE, size, payload)
-            self.stats.proposes_sent += 1
+        self.protocol.on_gossip_round(now, partners)
 
-    # ------------------------------------------------------------------
-    # Feed-me round (the Y mechanism, sending side)
-    # ------------------------------------------------------------------
     def _on_feed_me_round(self) -> None:
         if not self._alive:
             return
         now = self._simulator.now
         targets = self._partners.pick_feed_me_targets(now)
-        payload = FeedMePayload(requester=self.node_id)
-        size = self.config.sizes.feed_me_size()
-        for target in targets:
-            self._send(target, FEED_ME, size, payload)
-            self.stats.feed_me_sent += 1
+        self.protocol.on_feed_me_round(now, targets)
 
     # ------------------------------------------------------------------
     # Message handling
@@ -270,111 +270,20 @@ class GossipNode:
         """Entry point called by the network when a datagram is delivered."""
         if not self._alive:
             return
-        kind = message.kind
-        if kind == PROPOSE:
-            self._handle_propose(message.sender, message.payload)
-        elif kind == REQUEST:
-            self._handle_request(message.sender, message.payload)
-        elif kind == SERVE:
-            self._handle_serve(message.sender, message.payload)
-        elif kind == FEED_ME:
-            self._handle_feed_me(message.payload)
-        else:
-            raise ValueError(f"node {self.node_id} received unknown message kind {kind!r}")
-
-    # Phase 2: request missing packets ---------------------------------
-    def _handle_propose(self, sender: NodeId, payload: ProposePayload) -> None:
-        self.stats.proposals_received += 1
-        wanted: List[PacketId] = []
-        for packet_id in payload.packet_ids:
-            if self.state.has_delivered(packet_id):
-                continue
-            if self.state.never_requested(packet_id):
-                wanted.append(packet_id)
-        if wanted:
-            for packet_id in wanted:
-                self.state.record_request(packet_id)
-            self._send_request(sender, wanted)
-
-        if self.config.retransmission_enabled:
-            self._arm_retransmission(sender, payload.packet_ids)
-
-    def _send_request(self, proposer: NodeId, packet_ids: List[PacketId]) -> None:
-        payload = RequestPayload(packet_ids=tuple(packet_ids))
-        size = self.config.sizes.request_size(len(packet_ids))
-        self._send(proposer, REQUEST, size, payload)
-        self.stats.requests_sent += 1
-
-    def _arm_retransmission(self, proposer: NodeId, packet_ids: tuple) -> None:
-        missing = self.state.missing_from(packet_ids)
-        retryable = [
-            packet_id
-            for packet_id in missing
-            if self.state.may_request_again(packet_id, self.config.max_request_attempts)
-        ]
-        if not retryable:
-            return
-        pending = PendingRequest(proposer=proposer, packet_ids=tuple(packet_ids))
-        timer = Timer(self._simulator, partial(self._on_retransmit_timeout, pending))
-        pending.timer = timer
-        timer.arm(self.config.retransmit_timeout)
-        self.state.add_pending(pending)
-
-    def _on_retransmit_timeout(self, pending: PendingRequest) -> None:
-        self.state.remove_pending(pending)
-        if not self._alive:
-            return
-        missing = [
-            packet_id
-            for packet_id in self.state.missing_from(pending.packet_ids)
-            if self.state.may_request_again(packet_id, self.config.max_request_attempts)
-        ]
-        if not missing:
-            return
-        for packet_id in missing:
-            self.state.record_request(packet_id)
-        self._send_request(pending.proposer, missing)
-        self.stats.retransmission_requests_sent += 1
-        # Another retry may still be allowed for some of these packets; keep
-        # a timer armed so the node eventually exhausts its K attempts.
-        self._arm_retransmission(pending.proposer, pending.packet_ids)
-
-    # Phase 3: serve requested packets ----------------------------------
-    def _handle_request(self, sender: NodeId, payload: RequestPayload) -> None:
-        self.stats.requests_received += 1
-        for packet_id in payload.packet_ids:
-            if not self.state.has_delivered(packet_id):
-                continue
-            descriptor = self._schedule.packet(packet_id)
-            served = ServedPacket(packet_id=packet_id, size_bytes=descriptor.size_bytes)
-            size = self.config.sizes.serve_size(descriptor.size_bytes)
-            self._send(sender, SERVE, size, ServePayload(packet=served))
-            self.stats.serves_sent += 1
-            self.stats.packets_served += 1
-
-    def _handle_serve(self, sender: NodeId, payload: ServePayload) -> None:
-        packet = payload.packet
-        now = self._simulator.now
-        if self.state.has_delivered(packet.packet_id):
-            self.stats.duplicate_serves_received += 1
-            return
-        self._deliver(packet.packet_id, now)
-        self.state.queue_for_proposal(packet.packet_id)
-
-    def _handle_feed_me(self, payload: FeedMePayload) -> None:
-        self.stats.feed_me_received += 1
-        self._partners.insert_requester(payload.requester, self._simulator.now)
+        self.protocol.on_message(message)
 
     # ------------------------------------------------------------------
-    # Helpers
+    # Services offered to the protocol strategy
     # ------------------------------------------------------------------
-    def _deliver(self, packet_id: PacketId, time: float) -> None:
+    def deliver(self, packet_id: PacketId, time: float) -> None:
+        """Record a first-time delivery and notify the delivery listener."""
         if not self.state.deliver(packet_id, time):
             return
         if self._delivery_listener is not None:
             self._delivery_listener(self.node_id, packet_id, time)
 
-    def _send(self, receiver: NodeId, kind: str, size_bytes: int, payload: object) -> None:
+    def send(self, receiver: NodeId, kind: str, size_bytes: int, payload: object) -> None:
+        """Send a datagram from this node through the network substrate."""
         message = Message(
             sender=self.node_id,
             receiver=receiver,
@@ -387,6 +296,6 @@ class GossipNode:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         role = "source" if self.is_source else "node"
         return (
-            f"GossipNode({role} {self.node_id}, delivered={self.state.delivered_count}, "
-            f"alive={self._alive})"
+            f"GossipNode({role} {self.node_id}, protocol={self.protocol.name}, "
+            f"delivered={self.state.delivered_count}, alive={self._alive})"
         )

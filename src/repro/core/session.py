@@ -2,14 +2,16 @@
 
 A *session* is one complete experiment of the paper: one source streaming to
 ``n - 1`` receivers over a bandwidth-constrained network, with a given gossip
-configuration, for a given stream length, optionally hit by churn.  It wires
-every substrate together:
+configuration, for a given stream length, optionally hit by churn or joined
+by a flash crowd.  It wires every substrate together:
 
 * a :class:`~repro.simulation.Simulator` seeded for reproducibility;
 * a :class:`~repro.network.Network` with upload caps, latencies and loss;
 * a :class:`~repro.membership.MembershipDirectory` plus per-node
   :class:`~repro.membership.PartnerSelector`;
-* one :class:`~repro.core.node.GossipNode` per participant and a
+* one :class:`~repro.core.node.GossipNode` per participant — each delegating
+  its dissemination decisions to the strategy named by
+  :attr:`SessionConfig.protocol` — and a
   :class:`~repro.streaming.StreamEmitter` driving the source;
 * a :class:`~repro.metrics.DeliveryLog` and traffic statistics feeding the
   quality / lag / bandwidth analyzers.
@@ -21,6 +23,10 @@ Typical use::
                            network=NetworkConfig(upload_cap_kbps=700))
     result = StreamingSession(config).run()
     print(result.viewing_percentage(lag=10.0))
+
+Prefer building configurations through the declarative scenario layer
+(:mod:`repro.scenarios`) — ``run_scenario("churn-window", num_nodes=60)`` —
+which composes a :class:`SessionConfig` from a named spec.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import Dict, List, Optional
 
 from repro.membership.churn import ChurnInjector, ChurnSchedule
 from repro.membership.directory import MembershipDirectory
+from repro.membership.join import JoinEvent, JoinInjector, JoinSchedule
 from repro.metrics.bandwidth import BandwidthUsage
 from repro.metrics.delivery import DeliveryLog
 from repro.metrics.quality import OFFLINE_LAG, StreamQualityAnalyzer
@@ -37,6 +44,7 @@ from repro.network.bandwidth import BandwidthCap
 from repro.network.message import NodeId
 from repro.network.stats import TrafficStats
 from repro.network.transport import Network, NetworkConfig
+from repro.protocols.registry import create_protocol, protocol_factory
 from repro.simulation.engine import Simulator
 from repro.streaming.schedule import StreamConfig, StreamSchedule
 from repro.streaming.source import StreamEmitter
@@ -61,6 +69,10 @@ class SessionConfig:
         Stream rate, packet size, FEC window layout and length.
     network:
         Upload caps, latency model and random loss.
+    protocol:
+        Name of the dissemination protocol every node runs (resolved through
+        :mod:`repro.protocols.registry`).  ``"three-phase"`` is the paper's
+        Algorithm 1; ``"eager-push"`` is the one-phase baseline.
     source_uncapped:
         Whether the source's upload is unlimited.  The source must serve
         ``source_fanout`` full copies of the stream, which no 700 kbps cap
@@ -68,6 +80,10 @@ class SessionConfig:
         defaults to ``True``.
     churn:
         Optional churn schedule (e.g. :class:`CatastrophicChurn`).
+    join:
+        Optional join schedule (e.g. :class:`FlashCrowdJoin`): the selected
+        nodes stay outside the membership directory, with their timers
+        stopped, until their join time.
     failure_detection_delay:
         Seconds before crashed nodes stop being selected as partners.
     extra_time:
@@ -81,8 +97,10 @@ class SessionConfig:
     gossip: GossipConfig = field(default_factory=GossipConfig)
     stream: StreamConfig = field(default_factory=StreamConfig.scaled_down)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    protocol: str = "three-phase"
     source_uncapped: bool = True
     churn: Optional[ChurnSchedule] = None
+    join: Optional[JoinSchedule] = None
     failure_detection_delay: float = 5.0
     extra_time: float = 30.0
 
@@ -95,6 +113,7 @@ class SessionConfig:
             raise ValueError(
                 f"failure_detection_delay must be >= 0, got {self.failure_detection_delay!r}"
             )
+        protocol_factory(self.protocol)  # fail fast on unknown protocol names
 
     @property
     def source_id(self) -> NodeId:
@@ -104,6 +123,25 @@ class SessionConfig:
     def receiver_ids(self) -> List[NodeId]:
         """Ids of all non-source nodes."""
         return list(range(1, self.num_nodes))
+
+    def late_joiner_ids(self) -> List[NodeId]:
+        """Receivers that join late under the configured join schedule.
+
+        Convenience for inspection: this re-evaluates ``join.events()``, so
+        it only matches a session's actual partition for deterministic
+        schedules (the session itself evaluates the schedule exactly once).
+        """
+        if self.join is None:
+            return []
+        return self.join.late_joiners(self.receiver_ids())
+
+    def initial_member_ids(self) -> List[NodeId]:
+        """Nodes present in the directory from the start (always the source).
+
+        Same caveat as :meth:`late_joiner_ids`: inspection-only.
+        """
+        late = set(self.late_joiner_ids())
+        return [node_id for node_id in range(self.num_nodes) if node_id not in late]
 
 
 @dataclass
@@ -118,6 +156,7 @@ class SessionResult:
     failed_nodes: List[NodeId]
     events_processed: int
     end_time: float
+    late_joiners: List[NodeId] = field(default_factory=list)
 
     _quality_cache: Dict[str, StreamQualityAnalyzer] = field(default_factory=dict, repr=False)
 
@@ -137,6 +176,11 @@ class SessionResult:
         """Non-source nodes that did not crash during the run."""
         failed = set(self.failed_nodes)
         return [node_id for node_id in self.receivers() if node_id not in failed]
+
+    def initial_survivors(self) -> List[NodeId]:
+        """Survivors that were present from the session start (no joiners)."""
+        late = set(self.late_joiners)
+        return [node_id for node_id in self.survivors() if node_id not in late]
 
     # ------------------------------------------------------------------
     # Analyzers
@@ -206,7 +250,10 @@ class StreamingSession:
         self.emitter: Optional[StreamEmitter] = None
         self.deliveries = DeliveryLog()
         self._churn_injector: Optional[ChurnInjector] = None
+        self._join_injector: Optional[JoinInjector] = None
         self._failed_nodes: List[NodeId] = []
+        self._join_events: List[JoinEvent] = []
+        self._late_joiners: List[NodeId] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -222,17 +269,43 @@ class StreamingSession:
         self.simulator = simulator
         self.schedule = StreamSchedule(config.stream)
 
-        node_ids = list(range(config.num_nodes))
+        self._build_membership()
+        self._build_network()
+        self._build_nodes()
+        self._build_source()
+        self._build_churn()
+        self._build_join()
+
+    def _build_membership(self) -> None:
+        config = self.config
         directory = MembershipDirectory(detection_delay=config.failure_detection_delay)
-        directory.add_all(node_ids)
+        # Evaluate the join schedule exactly once: this event list decides
+        # both who stays out of the initial directory and what _build_join
+        # arms, so a stateful/randomized schedule cannot desync the two.
+        if config.join is not None:
+            self._join_events = config.join.events(config.receiver_ids())
+            self._late_joiners = [
+                node_id for event in self._join_events for node_id in event.joiners
+            ]
+        late = set(self._late_joiners)
+        directory.add_all(
+            node_id for node_id in range(config.num_nodes) if node_id not in late
+        )
         self.directory = directory
 
-        latency = config.network.build_latency(simulator.rng, node_ids)
-        loss = config.network.build_loss(simulator.rng)
-        network = Network(simulator, latency_model=latency, loss_model=loss)
-        self.network = network
+    def _build_network(self) -> None:
+        assert self.simulator is not None
+        config = self.config
+        node_ids = list(range(config.num_nodes))
+        latency = config.network.build_latency(self.simulator.rng, node_ids)
+        loss = config.network.build_loss(self.simulator.rng)
+        self.network = Network(self.simulator, latency_model=latency, loss_model=loss)
 
-        for node_id in node_ids:
+    def _build_nodes(self) -> None:
+        assert self.simulator is not None and self.network is not None
+        assert self.directory is not None and self.schedule is not None
+        config = self.config
+        for node_id in range(config.num_nodes):
             is_source = node_id == config.source_id
             if is_source and config.source_uncapped:
                 cap = BandwidthCap.unlimited()
@@ -240,26 +313,41 @@ class StreamingSession:
                 cap = config.network.build_cap(node_id)
             node = GossipNode(
                 node_id=node_id,
-                simulator=simulator,
-                network=network,
-                directory=directory,
+                simulator=self.simulator,
+                network=self.network,
+                directory=self.directory,
                 schedule=self.schedule,
                 config=config.gossip,
                 delivery_listener=self.deliveries,
                 is_source=is_source,
+                protocol=create_protocol(config.protocol),
             )
             self.nodes[node_id] = node
-            network.register(node_id, node.on_message, cap)
+            self.network.register(node_id, node.on_message, cap)
 
-        source = self.nodes[config.source_id]
-        self.emitter = StreamEmitter(simulator, self.schedule, source.publish)
+    def _build_source(self) -> None:
+        assert self.simulator is not None and self.schedule is not None
+        source = self.nodes[self.config.source_id]
+        self.emitter = StreamEmitter(self.simulator, self.schedule, source.publish)
 
-        if config.churn is not None:
-            self._churn_injector = ChurnInjector(simulator, config.churn, self._apply_failures)
-            self._churn_injector.arm(
-                directory.churn_candidates(protected=[config.source_id]),
-                simulator.rng.stream("churn"),
-            )
+    def _build_churn(self) -> None:
+        assert self.simulator is not None and self.directory is not None
+        config = self.config
+        if config.churn is None:
+            return
+        self._churn_injector = ChurnInjector(self.simulator, config.churn, self._apply_failures)
+        self._churn_injector.arm(
+            self.directory.churn_candidates(protected=[config.source_id]),
+            self.simulator.rng.stream("churn"),
+        )
+
+    def _build_join(self) -> None:
+        assert self.simulator is not None
+        config = self.config
+        if config.join is None:
+            return
+        self._join_injector = JoinInjector(self.simulator, config.join, self._apply_joins)
+        self._join_injector.arm_events(self._join_events)
 
     def _apply_failures(self, victims: List[NodeId]) -> None:
         assert self.network is not None and self.directory is not None and self.simulator is not None
@@ -269,6 +357,12 @@ class StreamingSession:
             self.directory.mark_failed(node_id, now)
             self.network.fail_node(node_id)
             self.nodes[node_id].fail()
+
+    def _apply_joins(self, joiners: List[NodeId]) -> None:
+        assert self.directory is not None
+        for node_id in joiners:
+            self.directory.add(node_id)
+            self.nodes[node_id].start()
 
     # ------------------------------------------------------------------
     # Execution
@@ -280,8 +374,10 @@ class StreamingSession:
         assert self.simulator is not None and self.schedule is not None
         assert self.emitter is not None
 
-        for node in self.nodes.values():
-            node.start()
+        late = set(self._late_joiners)
+        for node_id, node in self.nodes.items():
+            if node_id not in late:
+                node.start()
         self.emitter.start()
 
         end_time = self.schedule.config.end_time + self.config.extra_time
@@ -297,6 +393,7 @@ class StreamingSession:
             failed_nodes=list(self._failed_nodes),
             events_processed=self.simulator.events_processed,
             end_time=self.simulator.now,
+            late_joiners=list(self._late_joiners),
         )
 
 

@@ -23,7 +23,7 @@ from repro.simulation.timers import Timer
 from repro.streaming.packets import PacketId
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRequest:
     """An armed retransmission: re-ask ``proposer`` for still-missing packets."""
 
@@ -38,7 +38,7 @@ class PendingRequest:
             self.timer.cancel()
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeState:
     """Mutable protocol state of one gossip node."""
 

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.session import SessionResult, StreamingSession
+from repro.core.session import SessionResult
 from repro.membership.partners import INFINITE
+from repro.scenarios.builder import SessionBuilder
 
 from repro.experiments.scale import ExperimentScale
 
@@ -33,10 +34,13 @@ class ExperimentPoint:
     feed_me_every: float = INFINITE
     churn_fraction: float = 0.0
     seed_offset: int = 0
+    protocol: str = "three-phase"
 
     def describe(self) -> str:
         """Short human-readable description of this point."""
         parts = [f"scale={self.scale_name}"]
+        if self.protocol != "three-phase":
+            parts.append(f"protocol={self.protocol}")
         if self.fanout is not None:
             parts.append(f"fanout={self.fanout}")
         if self.cap_kbps is not None:
@@ -60,8 +64,9 @@ def run_point(scale: ExperimentScale, point: ExperimentPoint) -> SessionResult:
         feed_me_every=point.feed_me_every,
         churn_fraction=point.churn_fraction,
         seed_offset=point.seed_offset,
+        protocol=point.protocol,
     )
-    return StreamingSession(config).run()
+    return SessionBuilder.from_config(config).run()
 
 
 class RunCache:

@@ -13,6 +13,8 @@ the paper studies and the churn injector used in Section 4.3:
   support for *feed-me* insertions (the ``Y`` mechanism).
 * :class:`CatastrophicChurn` / :class:`StaggeredChurn` — churn schedules that
   fail a fraction of nodes at once (the paper's scenario) or progressively.
+* :class:`FlashCrowdJoin` — the mirror perturbation: a burst of nodes
+  *joining* mid-stream, kept out of the directory until their join time.
 """
 
 from repro.membership.churn import (
@@ -24,6 +26,7 @@ from repro.membership.churn import (
     StaggeredChurn,
 )
 from repro.membership.directory import MembershipDirectory
+from repro.membership.join import FlashCrowdJoin, JoinEvent, JoinInjector, JoinSchedule
 from repro.membership.partners import INFINITE, PartnerSelector, recommended_fanout
 
 __all__ = [
@@ -31,7 +34,11 @@ __all__ = [
     "ChurnEvent",
     "ChurnInjector",
     "ChurnSchedule",
+    "FlashCrowdJoin",
     "INFINITE",
+    "JoinEvent",
+    "JoinInjector",
+    "JoinSchedule",
     "MembershipDirectory",
     "NoChurn",
     "PartnerSelector",

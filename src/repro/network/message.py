@@ -16,9 +16,13 @@ NodeId = int
 """Nodes are identified by small non-negative integers."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An application datagram with explicit wire size.
+
+    The class is slotted: one :class:`Message` is allocated per datagram on
+    the simulation hot path, and dropping the per-instance ``__dict__``
+    measurably reduces allocator pressure in large sessions.
 
     Attributes
     ----------

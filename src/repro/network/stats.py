@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Optional
 from repro.network.message import NodeId
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeTraffic:
     """Byte and message counters for a single node."""
 

@@ -1,0 +1,194 @@
+"""The paper's protocol: three-phase propose / request / serve gossip.
+
+This is Algorithm 1 of the paper, extracted verbatim from the original
+monolithic node engine:
+
+* **phase 1** — on every gossip round, push the ids delivered since the last
+  round (infect-and-die) to the round's partners as a PROPOSE;
+* **phase 2** — on receiving a PROPOSE, request every id not yet delivered
+  and never requested before; optionally arm a retransmission timer that
+  re-requests ids still missing after a timeout, up to ``K`` attempts;
+* **phase 3** — on receiving a REQUEST, serve the packets actually held.
+
+The strategy also implements both sides of the ``Y`` proactiveness
+mechanism: emitting FEED_ME datagrams every ``Y`` rounds and inserting
+requesters into the partner view on receipt.
+
+Moving a node's logic here must not change behaviour: a fixed-seed session
+driven through :class:`ThreePhaseGossip` produces a delivery log identical
+to the pre-refactor engine (pinned by ``tests/protocols/test_regression.py``).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Tuple
+
+from repro.core.messages import (
+    FEED_ME,
+    PROPOSE,
+    REQUEST,
+    SERVE,
+    FeedMePayload,
+    ProposePayload,
+    RequestPayload,
+    ServePayload,
+    ServedPacket,
+)
+from repro.core.state import PendingRequest
+from repro.network.message import Message, NodeId
+from repro.protocols.base import DisseminationProtocol
+from repro.simulation.timers import Timer
+from repro.streaming.packets import PacketDescriptor, PacketId
+
+
+class ThreePhaseGossip(DisseminationProtocol):
+    """Algorithm 1: propose ids, pull missing packets, serve on request."""
+
+    name = "three-phase"
+
+    # ------------------------------------------------------------------
+    # Source role
+    # ------------------------------------------------------------------
+    def on_publish(self, descriptor: PacketDescriptor, targets: List[NodeId], now: float) -> None:
+        host = self.host
+        if not targets:
+            return
+        payload = ProposePayload(packet_ids=(descriptor.packet_id,))
+        size = host.config.sizes.propose_size(1)
+        for target in targets:
+            host.send(target, PROPOSE, size, payload)
+        host.stats.proposes_sent += len(targets)
+
+    # ------------------------------------------------------------------
+    # Gossip round (phase 1: push ids)
+    # ------------------------------------------------------------------
+    def on_gossip_round(self, now: float, partners: List[NodeId]) -> None:
+        host = self.host
+        packet_ids = host.state.drain_proposals()
+        if not packet_ids or not partners:
+            return
+        payload = ProposePayload(packet_ids=tuple(packet_ids))
+        size = host.config.sizes.propose_size(len(packet_ids))
+        for target in partners:
+            host.send(target, PROPOSE, size, payload)
+            host.stats.proposes_sent += 1
+
+    # ------------------------------------------------------------------
+    # Feed-me round (the Y mechanism, sending side)
+    # ------------------------------------------------------------------
+    def on_feed_me_round(self, now: float, targets: List[NodeId]) -> None:
+        host = self.host
+        payload = FeedMePayload(requester=host.node_id)
+        size = host.config.sizes.feed_me_size()
+        for target in targets:
+            host.send(target, FEED_ME, size, payload)
+            host.stats.feed_me_sent += 1
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == PROPOSE:
+            self._handle_propose(message.sender, message.payload)
+        elif kind == REQUEST:
+            self._handle_request(message.sender, message.payload)
+        elif kind == SERVE:
+            self._handle_serve(message.sender, message.payload)
+        elif kind == FEED_ME:
+            self._handle_feed_me(message.payload)
+        else:
+            raise ValueError(
+                f"node {self.host.node_id} received unknown message kind {kind!r}"
+            )
+
+    # Phase 2: request missing packets ---------------------------------
+    def _handle_propose(self, sender: NodeId, payload: ProposePayload) -> None:
+        host = self.host
+        host.stats.proposals_received += 1
+        wanted: List[PacketId] = []
+        for packet_id in payload.packet_ids:
+            if host.state.has_delivered(packet_id):
+                continue
+            if host.state.never_requested(packet_id):
+                wanted.append(packet_id)
+        if wanted:
+            for packet_id in wanted:
+                host.state.record_request(packet_id)
+            self._send_request(sender, wanted)
+
+        if host.config.retransmission_enabled:
+            self._arm_retransmission(sender, payload.packet_ids)
+
+    def _send_request(self, proposer: NodeId, packet_ids: List[PacketId]) -> None:
+        host = self.host
+        payload = RequestPayload(packet_ids=tuple(packet_ids))
+        size = host.config.sizes.request_size(len(packet_ids))
+        host.send(proposer, REQUEST, size, payload)
+        host.stats.requests_sent += 1
+
+    def _arm_retransmission(self, proposer: NodeId, packet_ids: Tuple[PacketId, ...]) -> None:
+        host = self.host
+        missing = host.state.missing_from(packet_ids)
+        retryable = [
+            packet_id
+            for packet_id in missing
+            if host.state.may_request_again(packet_id, host.config.max_request_attempts)
+        ]
+        if not retryable:
+            return
+        pending = PendingRequest(proposer=proposer, packet_ids=tuple(packet_ids))
+        timer = Timer(host.simulator, partial(self._on_retransmit_timeout, pending))
+        pending.timer = timer
+        timer.arm(host.config.retransmit_timeout)
+        host.state.add_pending(pending)
+
+    def _on_retransmit_timeout(self, pending: PendingRequest) -> None:
+        host = self.host
+        host.state.remove_pending(pending)
+        if not host.alive:
+            return
+        missing = [
+            packet_id
+            for packet_id in host.state.missing_from(pending.packet_ids)
+            if host.state.may_request_again(packet_id, host.config.max_request_attempts)
+        ]
+        if not missing:
+            return
+        for packet_id in missing:
+            host.state.record_request(packet_id)
+        self._send_request(pending.proposer, missing)
+        host.stats.retransmission_requests_sent += 1
+        # Another retry may still be allowed for some of these packets; keep
+        # a timer armed so the node eventually exhausts its K attempts.
+        self._arm_retransmission(pending.proposer, pending.packet_ids)
+
+    # Phase 3: serve requested packets ----------------------------------
+    def _handle_request(self, sender: NodeId, payload: RequestPayload) -> None:
+        host = self.host
+        host.stats.requests_received += 1
+        for packet_id in payload.packet_ids:
+            if not host.state.has_delivered(packet_id):
+                continue
+            descriptor = host.schedule.packet(packet_id)
+            served = ServedPacket(packet_id=packet_id, size_bytes=descriptor.size_bytes)
+            size = host.config.sizes.serve_size(descriptor.size_bytes)
+            host.send(sender, SERVE, size, ServePayload(packet=served))
+            host.stats.serves_sent += 1
+            host.stats.packets_served += 1
+
+    def _handle_serve(self, sender: NodeId, payload: ServePayload) -> None:
+        host = self.host
+        packet = payload.packet
+        now = host.now
+        if host.state.has_delivered(packet.packet_id):
+            host.stats.duplicate_serves_received += 1
+            return
+        host.deliver(packet.packet_id, now)
+        host.state.queue_for_proposal(packet.packet_id)
+
+    def _handle_feed_me(self, payload: FeedMePayload) -> None:
+        host = self.host
+        host.stats.feed_me_received += 1
+        host.partners.insert_requester(payload.requester, host.now)

@@ -1,0 +1,207 @@
+"""SessionBuilder: compile declarative specs into runnable sessions.
+
+The builder is the single place where scenario intents become concrete
+session wiring.  Every layer above the core — the scenario registry, the
+experiment scales, the examples — composes sessions through it, so adding a
+new knob means touching the builder once instead of every harness.
+
+Three entry points cover the common shapes::
+
+    # from a declarative spec
+    result = SessionBuilder.from_spec(spec).run()
+
+    # fluent, for one-off experiments
+    result = (SessionBuilder()
+              .nodes(60).seed(3).protocol("eager-push")
+              .gossip(fanout=8)
+              .network(upload_cap_kbps=None, random_loss=0.0)
+              .run())
+
+    # wrapping an existing SessionConfig (experiment harness)
+    session = SessionBuilder.from_config(config).build()
+
+Internally the builder keeps an optional *base* :class:`SessionConfig` plus
+a dictionary of field overrides, and compiles with ``dataclasses.replace``.
+That shape is deliberate: ``from_config`` round-trips a config it never
+decomposes, so a field added to :class:`SessionConfig` in a future PR flows
+through untouched instead of being silently reset to its default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from repro.core.config import GossipConfig
+from repro.core.session import SessionConfig, SessionResult, StreamingSession
+from repro.membership.churn import ChurnSchedule
+from repro.membership.join import JoinSchedule
+from repro.network.message import NodeId
+from repro.network.transport import NetworkConfig
+from repro.streaming.schedule import StreamConfig
+
+from repro.scenarios.spec import ScenarioSpec
+
+
+class SessionBuilder:
+    """Composes a :class:`SessionConfig` and builds the session from it.
+
+    Parameters
+    ----------
+    base:
+        Optional existing configuration to start from; fluent setters then
+        override individual fields.  ``None`` starts from the
+        :class:`SessionConfig` defaults.
+    """
+
+    def __init__(self, base: Optional[SessionConfig] = None) -> None:
+        self._base = base
+        self._overrides: Dict[str, Any] = {}
+        self._per_node_caps: Dict[NodeId, Optional[float]] = {}
+
+    def _effective(self, field_name: str, default: Any) -> Any:
+        if field_name in self._overrides:
+            return self._overrides[field_name]
+        if self._base is not None:
+            return getattr(self._base, field_name)
+        return default
+
+    # ------------------------------------------------------------------
+    # Fluent setters
+    # ------------------------------------------------------------------
+    def nodes(self, num_nodes: int) -> "SessionBuilder":
+        """System size, including the source."""
+        self._overrides["num_nodes"] = num_nodes
+        return self
+
+    def seed(self, seed: int) -> "SessionBuilder":
+        """Root seed of the session."""
+        self._overrides["seed"] = seed
+        return self
+
+    def protocol(self, name: str) -> "SessionBuilder":
+        """Dissemination protocol name (``three-phase`` / ``eager-push``)."""
+        self._overrides["protocol"] = name
+        return self
+
+    def gossip(self, config: Optional[GossipConfig] = None, **knobs) -> "SessionBuilder":
+        """Set the gossip config, or tweak knobs of the current one."""
+        base = config if config is not None else self._effective("gossip", GossipConfig())
+        self._overrides["gossip"] = replace(base, **knobs) if knobs else base
+        return self
+
+    def stream(self, config: StreamConfig) -> "SessionBuilder":
+        """Set the stream layout."""
+        self._overrides["stream"] = config
+        return self
+
+    def network(self, config: Optional[NetworkConfig] = None, **knobs) -> "SessionBuilder":
+        """Set the network config, or tweak knobs of the current one."""
+        base = config if config is not None else self._effective("network", NetworkConfig())
+        self._overrides["network"] = replace(base, **knobs) if knobs else base
+        return self
+
+    def per_node_caps(self, caps: Dict[NodeId, Optional[float]]) -> "SessionBuilder":
+        """Heterogeneous upload caps (overrides the default for listed nodes)."""
+        self._per_node_caps = dict(caps)
+        return self
+
+    def churn(self, schedule: Optional[ChurnSchedule]) -> "SessionBuilder":
+        """Churn schedule (``None`` disables churn)."""
+        self._overrides["churn"] = schedule
+        return self
+
+    def join(self, schedule: Optional[JoinSchedule]) -> "SessionBuilder":
+        """Join schedule (``None``: everybody is present from the start)."""
+        self._overrides["join"] = schedule
+        return self
+
+    def source_uncapped(self, uncapped: bool) -> "SessionBuilder":
+        """Whether the source's upload is unlimited."""
+        self._overrides["source_uncapped"] = uncapped
+        return self
+
+    def failure_detection_delay(self, seconds: float) -> "SessionBuilder":
+        """Seconds before crashed nodes stop being selected as partners."""
+        self._overrides["failure_detection_delay"] = seconds
+        return self
+
+    def extra_time(self, seconds: float) -> "SessionBuilder":
+        """Drain time after the last packet is published."""
+        self._overrides["extra_time"] = seconds
+        return self
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def to_config(self) -> SessionConfig:
+        """Compile the base config plus the accumulated overrides."""
+        overrides = dict(self._overrides)
+        if self._per_node_caps:
+            network = overrides.get(
+                "network",
+                self._base.network if self._base is not None else NetworkConfig(),
+            )
+            merged = dict(network.per_node_caps_kbps)
+            merged.update(self._per_node_caps)
+            overrides["network"] = replace(network, per_node_caps_kbps=merged)
+        if self._base is not None:
+            return replace(self._base, **overrides) if overrides else self._base
+        return SessionConfig(**overrides)
+
+    def build(self) -> StreamingSession:
+        """A ready-to-run (but not yet built) :class:`StreamingSession`."""
+        return StreamingSession(self.to_config())
+
+    def run(self) -> SessionResult:
+        """Build the session and run it to completion."""
+        return self.build().run()
+
+    # ------------------------------------------------------------------
+    # Alternate constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "SessionBuilder":
+        """Compile a declarative :class:`ScenarioSpec` into a builder."""
+        builder = cls()
+        builder.nodes(spec.num_nodes).seed(spec.seed).protocol(spec.protocol)
+        builder.gossip(spec.gossip_config())
+        builder.stream(spec.stream)
+        builder.network(
+            NetworkConfig(
+                upload_cap_kbps=spec.upload_cap_kbps,
+                max_backlog_seconds=spec.max_backlog_seconds,
+                latency_model=spec.latency_model,
+                base_latency=spec.base_latency,
+                random_loss=spec.random_loss,
+            )
+        )
+        caps = spec.per_node_caps()
+        if caps:
+            builder.per_node_caps(caps)
+        builder.churn(spec.churn)
+        builder.join(spec.join)
+        builder.source_uncapped(spec.source_uncapped)
+        builder.failure_detection_delay(spec.failure_detection_delay)
+        builder.extra_time(spec.extra_time)
+        return builder
+
+    @classmethod
+    def from_config(cls, config: SessionConfig) -> "SessionBuilder":
+        """Wrap an already-assembled :class:`SessionConfig`.
+
+        The config is carried whole, never decomposed: with no further
+        setter calls, :meth:`to_config` returns it unchanged (every field,
+        including ones added after this builder was written).
+        """
+        return cls(base=config)
+
+
+def build_session(spec: ScenarioSpec) -> StreamingSession:
+    """One-liner: spec → unbuilt session."""
+    return SessionBuilder.from_spec(spec).build()
+
+
+def run_spec(spec: ScenarioSpec) -> SessionResult:
+    """One-liner: spec → completed result."""
+    return SessionBuilder.from_spec(spec).run()

@@ -14,7 +14,10 @@ Running the simulation is ``run(until=...)`` or ``run_until_idle()``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.timers import PeriodicTimer
 
 from repro.simulation.clock import SimulationClock
 from repro.simulation.errors import SimulationStateError, SimulationTimeError
@@ -165,14 +168,27 @@ def call_every(
     period: float,
     callback: Callable[[], None],
     start_delay: float = 0.0,
-) -> "EventHandle":
-    """Convenience wrapper kept for backwards compatibility with early tests.
+) -> "PeriodicTimer":
+    """Deprecated: construct a :class:`PeriodicTimer` and call ``start()``.
 
-    Prefer :class:`repro.simulation.timers.PeriodicTimer`, which supports
-    cancellation and exposes its fire count.
+    This wrapper predates :class:`repro.simulation.timers.PeriodicTimer` and
+    survives only for backwards compatibility.  It returns the started timer
+    (not an :class:`EventHandle`, as early versions claimed): stop it with
+    ``timer.stop()``, not ``simulator.cancel()``.
+
+    .. deprecated:: 1.0
+        Use ``PeriodicTimer(simulator, period, callback, start_delay=...)``
+        followed by ``start()`` instead.
     """
+    import warnings
+
     from repro.simulation.timers import PeriodicTimer
 
+    warnings.warn(
+        "call_every() is deprecated; build a PeriodicTimer and call start()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     timer = PeriodicTimer(simulator, period, callback, start_delay=start_delay)
     timer.start()
-    return timer  # type: ignore[return-value]
+    return timer

@@ -22,7 +22,7 @@ from repro.simulation.errors import SimulationTimeError
 EventCallback = Callable[..., None]
 
 
-@dataclass
+@dataclass(slots=True)
 class EventHandle:
     """Handle returned when scheduling an event, used to cancel it."""
 
@@ -40,7 +40,7 @@ class EventHandle:
         return self._cancelled
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class ScheduledEvent:
     """Internal heap entry pairing a handle with its callback."""
 

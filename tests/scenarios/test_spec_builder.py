@@ -1,0 +1,149 @@
+"""Unit tests for scenario specs and the SessionBuilder."""
+
+import pytest
+
+from repro.core.config import GossipConfig
+from repro.core.session import SessionConfig
+from repro.membership.churn import CatastrophicChurn
+from repro.membership.join import FlashCrowdJoin
+from repro.network.transport import NetworkConfig
+from repro.scenarios import (
+    BandwidthClass,
+    ScenarioSpec,
+    SessionBuilder,
+    assign_bandwidth_classes,
+)
+from repro.streaming.schedule import StreamConfig
+
+
+class TestScenarioSpec:
+    def test_defaults_compile_to_gossip_config(self):
+        spec = ScenarioSpec(name="x")
+        gossip = spec.gossip_config()
+        assert gossip.fanout == spec.fanout
+        assert gossip.gossip_period == spec.gossip_period
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="")
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", num_nodes=1)
+
+    def test_with_overrides_returns_new_spec(self):
+        spec = ScenarioSpec(name="x", num_nodes=10)
+        bigger = spec.with_overrides(num_nodes=50, seed=9)
+        assert bigger.num_nodes == 50 and bigger.seed == 9
+        assert spec.num_nodes == 10
+
+    def test_describe_mentions_perturbations(self):
+        spec = ScenarioSpec(
+            name="x",
+            churn=CatastrophicChurn(time=2.0, fraction=0.5),
+            join=FlashCrowdJoin(time=2.0, fraction=0.2),
+        )
+        description = spec.describe()
+        assert "churn" in description
+        assert "flash crowd" in description
+
+    def test_perturbation_past_stream_end_rejected(self):
+        # default scaled_down stream publishes its last packet at t≈3.5s
+        with pytest.raises(ValueError, match="inert"):
+            ScenarioSpec(name="x", churn=CatastrophicChurn(time=5.0, fraction=0.5))
+        with pytest.raises(ValueError, match="inert"):
+            ScenarioSpec(name="x", join=FlashCrowdJoin(time=5.0, fraction=0.2))
+
+
+class TestBandwidthClasses:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            assign_bandwidth_classes(
+                (BandwidthClass(0.3, 2000.0), BandwidthClass(0.3, 500.0)),
+                tuple(range(1, 11)),
+            )
+
+    def test_assignment_is_deterministic_and_interleaved(self):
+        classes = (BandwidthClass(0.3, 2000.0), BandwidthClass(0.7, 500.0))
+        receivers = tuple(range(1, 41))
+        caps = assign_bandwidth_classes(classes, receivers)
+        assert caps == assign_bandwidth_classes(classes, receivers)
+        # A cycle of 10: slots 0-2 strong, 3-9 weak.
+        assert caps[10] == 2000.0 and caps[12] == 2000.0
+        assert caps[13] == 500.0 and caps[19] == 500.0
+        strong = sum(1 for cap in caps.values() if cap == 2000.0)
+        assert strong == 12  # 30% of 40 receivers
+
+    def test_fractions_finer_than_cycle_rejected(self):
+        # A cycle of 10 id slots cannot represent a 25/75 split; silently
+        # quantizing to 30/70 would corrupt capacity-sweep experiments.
+        with pytest.raises(ValueError, match="multiples of 0.1"):
+            assign_bandwidth_classes(
+                (BandwidthClass(0.25, 2000.0), BandwidthClass(0.75, 500.0)),
+                tuple(range(1, 41)),
+            )
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthClass(fraction=0.0, cap_kbps=100.0)
+        with pytest.raises(ValueError):
+            BandwidthClass(fraction=0.5, cap_kbps=-1.0)
+
+
+class TestSessionBuilder:
+    def test_fluent_builder_produces_config(self):
+        config = (
+            SessionBuilder()
+            .nodes(12)
+            .seed(5)
+            .protocol("eager-push")
+            .gossip(fanout=4)
+            .network(upload_cap_kbps=None, random_loss=0.0)
+            .extra_time(10.0)
+            .to_config()
+        )
+        assert isinstance(config, SessionConfig)
+        assert config.num_nodes == 12
+        assert config.protocol == "eager-push"
+        assert config.gossip.fanout == 4
+        assert config.network.upload_cap_kbps is None
+
+    def test_from_config_round_trips(self):
+        original = SessionConfig(
+            num_nodes=14,
+            seed=3,
+            gossip=GossipConfig(fanout=6),
+            stream=StreamConfig.scaled_down(),
+            network=NetworkConfig(upload_cap_kbps=900.0),
+            protocol="three-phase",
+            extra_time=12.0,
+        )
+        rebuilt = SessionBuilder.from_config(original).to_config()
+        # The config is carried whole, never decomposed — a SessionConfig
+        # field added later cannot be silently reset to its default.
+        assert rebuilt is original
+
+    def test_from_config_with_overrides(self):
+        original = SessionConfig(num_nodes=14, seed=3, extra_time=12.0)
+        tweaked = SessionBuilder.from_config(original).seed(9).gossip(fanout=4).to_config()
+        assert tweaked.seed == 9
+        assert tweaked.gossip.fanout == 4
+        assert tweaked.num_nodes == 14 and tweaked.extra_time == 12.0
+        assert original.seed == 3  # base untouched
+
+    def test_from_spec_applies_bandwidth_classes(self):
+        spec = ScenarioSpec(
+            name="mix",
+            num_nodes=21,
+            bandwidth_classes=(
+                BandwidthClass(0.3, 2000.0),
+                BandwidthClass(0.7, 500.0),
+            ),
+        )
+        config = SessionBuilder.from_spec(spec).to_config()
+        assert config.network.per_node_caps_kbps == spec.per_node_caps()
+        assert set(config.network.per_node_caps_kbps) == set(range(1, 21))
+
+    def test_unknown_protocol_fails_fast(self):
+        with pytest.raises(ValueError):
+            SessionBuilder().protocol("carrier-pigeon").to_config()

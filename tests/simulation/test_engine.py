@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.simulation.engine import Simulator
+from repro.simulation.engine import Simulator, call_every
 from repro.simulation.errors import SimulationStateError, SimulationTimeError
+from repro.simulation.timers import PeriodicTimer
 
 
 class TestScheduling:
@@ -99,6 +100,27 @@ class TestRun:
 
     def test_step_returns_false_when_empty(self, simulator):
         assert simulator.step() is False
+
+
+class TestCallEvery:
+    def test_returns_started_periodic_timer_and_warns(self, simulator):
+        ticks = []
+        with pytest.deprecated_call():
+            timer = call_every(simulator, 0.5, lambda: ticks.append(simulator.now))
+        assert isinstance(timer, PeriodicTimer)
+        assert timer.running
+        simulator.run(until=2.0)
+        # start_delay=0 fires immediately, then every 0.5s: t = 0, .5, 1, 1.5, 2
+        assert timer.fire_count == len(ticks) == 5
+
+    def test_returned_timer_is_stoppable(self, simulator):
+        ticks = []
+        with pytest.deprecated_call():
+            timer = call_every(simulator, 0.5, lambda: ticks.append(simulator.now))
+        simulator.run(until=1.0)
+        timer.stop()
+        simulator.run(until=5.0)
+        assert len(ticks) == 3
 
 
 class TestDeterminism:
