@@ -20,12 +20,12 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import RunCache
 from repro.experiments.scale import ExperimentScale, scale_by_name
+from repro.sweep.cache import SummaryCache
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-_shared_cache = RunCache()
+_shared_cache = SummaryCache()
 
 
 @pytest.fixture(scope="session")
@@ -36,7 +36,7 @@ def bench_scale() -> ExperimentScale:
 
 
 @pytest.fixture(scope="session")
-def bench_cache() -> RunCache:
+def bench_cache() -> SummaryCache:
     """Process-wide cache so consecutive figures reuse overlapping runs."""
     return _shared_cache
 

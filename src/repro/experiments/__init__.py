@@ -15,6 +15,7 @@ default used by the benchmark harness and EXPERIMENTS.md) and ``PAPER``
 
 from repro.experiments.figures import (
     FigureResult,
+    figure_points,
     figure1_fanout_700,
     figure2_lag_cdf,
     figure3_fanout_relaxed_caps,
@@ -24,7 +25,7 @@ from repro.experiments.figures import (
     figure7_churn_unaffected,
     figure8_churn_windows,
 )
-from repro.experiments.runner import ExperimentPoint, RunCache, run_point
+from repro.experiments.runner import ExperimentPoint, RunCache, format_rate, run_point
 from repro.experiments.scale import PAPER, REDUCED, SMOKE, ExperimentScale, scale_by_name
 
 __all__ = [
@@ -43,6 +44,8 @@ __all__ = [
     "figure6_feedme_rate",
     "figure7_churn_unaffected",
     "figure8_churn_windows",
+    "figure_points",
+    "format_rate",
     "run_point",
     "scale_by_name",
 ]

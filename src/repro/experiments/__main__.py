@@ -6,6 +6,19 @@ Examples::
     python -m repro.experiments figure7 figure8 --scale reduced
     python -m repro.experiments ablation:fec --scale smoke
     python -m repro.experiments --list
+
+Parallel and resumable sweeps::
+
+    # run every figure's experiment points on 4 worker processes
+    python -m repro.experiments figure1 figure2 --scale reduced --jobs 4
+
+    # persist completed points; a killed run resumes where it stopped
+    python -m repro.experiments figure7 --scale paper \
+        --jobs 8 --store results/paper.jsonl --resume
+
+The figure tables of a ``--jobs N`` run are byte-identical to the serial
+ones: each experiment point derives all randomness from its own seed, so
+where (and in which order) points execute cannot change their results.
 """
 
 from __future__ import annotations
@@ -15,9 +28,13 @@ import sys
 import time
 from typing import List
 
+from repro.sweep.cache import SummaryCache
+from repro.sweep.executor import make_executor, run_sweep
+from repro.sweep.spec import SweepTask
+from repro.sweep.store import ResultStore
+
 from repro.experiments.ablations import ALL_ABLATIONS
-from repro.experiments.figures import ALL_FIGURES
-from repro.experiments.runner import RunCache
+from repro.experiments.figures import ALL_FIGURES, figure_points
 from repro.experiments.scale import available_scales, scale_by_name
 
 
@@ -44,6 +61,23 @@ def main(argv: List[str] | None = None) -> int:
         choices=available_scales(),
         help="experiment scale (default: smoke)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment sweep (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help="append completed points to this JSONL result store",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed points from --store instead of re-running them",
+    )
     parser.add_argument("--list", action="store_true", help="list available targets and exit")
     arguments = parser.parse_args(argv)
 
@@ -52,23 +86,69 @@ def main(argv: List[str] | None = None) -> int:
         for target in _available_targets():
             print(f"  {target}")
         return 0
+    if arguments.jobs < 1:
+        print(f"--jobs must be >= 1, got {arguments.jobs}")
+        return 2
+    if arguments.resume and not arguments.store:
+        print("--resume requires --store PATH")
+        return 2
 
-    scale = scale_by_name(arguments.scale)
-    cache = RunCache()
-    print(f"Running {len(arguments.targets)} target(s) at {scale.describe()}\n")
-
+    # Validate every target before running anything.
+    figure_targets = [t for t in arguments.targets if not t.startswith("ablation:")]
+    for target in figure_targets:
+        if target not in ALL_FIGURES:
+            print(f"unknown target {target!r}; available: {_available_targets()}")
+            return 2
     for target in arguments.targets:
-        started = time.time()
         if target.startswith("ablation:"):
             name = target.split(":", 1)[1]
             if name not in ALL_ABLATIONS:
                 print(f"unknown ablation {name!r}; available: {sorted(ALL_ABLATIONS)}")
                 return 2
-            result = ALL_ABLATIONS[name](scale)
+
+    scale = scale_by_name(arguments.scale)
+    executor = make_executor(arguments.jobs)
+    store = ResultStore(arguments.store) if arguments.store else None
+    cache = SummaryCache()
+    print(f"Running {len(arguments.targets)} target(s) at {scale.describe()}")
+    print(f"(jobs={arguments.jobs}" + (f", store={arguments.store}" + (", resume" if arguments.resume else "") + ")" if arguments.store else ")") + "\n")
+
+    # Phase 1: collect every figure target's points (a dry run against a
+    # recording cache) and execute them as one deduplicated sweep, so
+    # overlapping points across figures run exactly once — and in parallel.
+    if figure_targets:
+        tasks = [
+            SweepTask(point=point)
+            for target in figure_targets
+            for point in figure_points(target, scale)
+        ]
+        started = time.time()
+        outcome = run_sweep(
+            scale,
+            tasks,
+            executor=executor,
+            store=store,
+            resume=arguments.resume,
+        )
+        cache.prime(outcome.results)
+        print(
+            f"[sweep: executed {outcome.executed} point(s), "
+            f"reused {outcome.reused} from store, "
+            f"{time.time() - started:.1f}s]\n"
+        )
+
+    # Phase 2: render every target (figures read the primed cache).
+    for target in arguments.targets:
+        started = time.time()
+        if target.startswith("ablation:"):
+            name = target.split(":", 1)[1]
+            result = ALL_ABLATIONS[name](
+                scale,
+                executor=executor,
+                store=store,
+                resume=arguments.resume,
+            )
         else:
-            if target not in ALL_FIGURES:
-                print(f"unknown target {target!r}; available: {_available_targets()}")
-                return 2
             result = ALL_FIGURES[target](scale, cache)
         print(result.to_table())
         print(f"\n[{target} regenerated in {time.time() - started:.1f}s]\n")

@@ -4,7 +4,7 @@ The paper keeps several mechanisms fixed across all experiments — FEC coding
 inside each window, request retransmission, a well-provisioned source
 proposing to 7 nodes, and (implicitly) some failure-detection delay in the
 membership layer.  These ablations quantify how much each of those choices
-contributes, using the same session machinery as the figure generators:
+contributes:
 
 * :func:`retransmission_ablation` — Algorithm 1 with and without the
   retransmission timer (``K = 1`` vs ``K = 2``) under random message loss;
@@ -14,6 +14,14 @@ contributes, using the same session machinery as the figure generators:
 * :func:`source_fanout_ablation` — how many nodes the source proposes each
   packet to.
 
+Each ablation expresses its variants as :class:`~repro.sweep.SweepTask`
+lists — an experiment point plus a *config patch* reaching the knob the
+point does not model — and executes them through
+:func:`~repro.sweep.run_sweep`.  That routes ablations through the same
+orchestration layer as the figures: pass an executor for multiprocess runs
+and a store for crash-safe resume (the CLI's ``--jobs`` / ``--store`` /
+``--resume`` flags do exactly that).
+
 Each function returns a :class:`~repro.experiments.figures.FigureResult`
 (one series per metric) so the results render with the same tooling as the
 paper's figures.
@@ -21,28 +29,37 @@ paper's figures.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.core.session import SessionConfig, SessionResult, StreamingSession
-from repro.membership.churn import CatastrophicChurn
 from repro.metrics.quality import OFFLINE_LAG
 from repro.metrics.report import Series
+from repro.sweep.executor import run_sweep
+from repro.sweep.spec import ConfigPatch, SweepTask
+from repro.sweep.store import ResultStore
+from repro.sweep.summary import PointSummary
 
 from repro.experiments.figures import FigureResult
+from repro.experiments.runner import ExperimentPoint
 from repro.experiments.scale import REDUCED, ExperimentScale
 
 
-def _run(config: SessionConfig) -> SessionResult:
-    return StreamingSession(config).run()
+def _run_tasks(
+    scale: ExperimentScale,
+    tasks: List[SweepTask],
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+) -> List[PointSummary]:
+    outcome = run_sweep(scale, tasks, executor=executor, store=store, resume=resume)
+    return outcome.summaries(tasks)
 
 
-def _result_row(result: SessionResult) -> dict:
+def _result_row(summary: PointSummary) -> dict:
     return {
-        "viewing_20s": result.viewing_percentage(lag=20.0),
-        "viewing_offline": result.viewing_percentage(lag=OFFLINE_LAG),
-        "complete_windows_20s": result.average_complete_windows_percentage(20.0),
-        "delivery": result.delivery_ratio() * 100.0,
+        "viewing_20s": summary.viewing_percentage(20.0),
+        "viewing_offline": summary.viewing_percentage(OFFLINE_LAG),
+        "complete_windows_20s": summary.average_complete_windows_percentage(20.0),
+        "delivery": summary.delivery_percentage,
     }
 
 
@@ -77,10 +94,27 @@ def _figure_from_rows(
     return result
 
 
+def _task(
+    scale: ExperimentScale,
+    patch: ConfigPatch,
+    seed_offset: int = 0,
+    churn_fraction: float = 0.0,
+) -> SweepTask:
+    point = ExperimentPoint(
+        scale_name=scale.name,
+        seed_offset=seed_offset,
+        churn_fraction=churn_fraction,
+    )
+    return SweepTask(point=point, patch=patch)
+
+
 def retransmission_ablation(
     scale: ExperimentScale = REDUCED,
     loss_probability: float = 0.05,
     seed_offset: int = 0,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
 ) -> FigureResult:
     """Quality with and without retransmission under elevated random loss.
 
@@ -88,15 +122,18 @@ def retransmission_ablation(
     the retransmission timer is effectively disabled).
     """
     attempts_grid = (1, 2, 3)
-    rows = []
-    for attempts in attempts_grid:
-        config = scale.session_config(seed_offset=seed_offset)
-        config = replace(
-            config,
-            gossip=replace(config.gossip, max_request_attempts=attempts),
-            network=replace(config.network, random_loss=loss_probability),
+    tasks = [
+        _task(
+            scale,
+            patch=(
+                ("gossip.max_request_attempts", attempts),
+                ("network.random_loss", loss_probability),
+            ),
+            seed_offset=seed_offset,
         )
-        rows.append(_result_row(_run(config)))
+        for attempts in attempts_grid
+    ]
+    rows = [_result_row(s) for s in _run_tasks(scale, tasks, executor, store, resume)]
     return _figure_from_rows(
         figure_id="ablation-retransmission",
         title=f"Retransmission ablation (random loss {loss_probability:.0%})",
@@ -111,6 +148,9 @@ def retransmission_ablation(
 def fec_ablation(
     scale: ExperimentScale = REDUCED,
     seed_offset: int = 0,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
 ) -> FigureResult:
     """Quality with and without the per-window FEC packets.
 
@@ -120,11 +160,15 @@ def fec_ablation(
     redundancy, at the cost of a slightly higher stream rate with FEC.
     """
     fec_grid = (0, scale.fec_packets_per_window, scale.fec_packets_per_window * 2)
-    rows = []
-    for fec_packets in fec_grid:
-        config = scale.session_config(seed_offset=seed_offset)
-        config = replace(config, stream=replace(config.stream, fec_packets_per_window=fec_packets))
-        rows.append(_result_row(_run(config)))
+    tasks = [
+        _task(
+            scale,
+            patch=(("stream.fec_packets_per_window", fec_packets),),
+            seed_offset=seed_offset,
+        )
+        for fec_packets in fec_grid
+    ]
+    rows = [_result_row(s) for s in _run_tasks(scale, tasks, executor, store, resume)]
     return _figure_from_rows(
         figure_id="ablation-fec",
         title="FEC ablation (parity packets per window)",
@@ -141,6 +185,9 @@ def detection_delay_ablation(
     churn_fraction: float = 0.35,
     delays: Sequence[float] = (0.0, 2.0, 5.0, 15.0),
     seed_offset: int = 0,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
 ) -> FigureResult:
     """How the membership layer's failure-detection delay shapes churn recovery.
 
@@ -148,11 +195,16 @@ def detection_delay_ablation(
     around the churn event; that interval is exactly the time during which
     crashed nodes keep being selected as partners.
     """
-    rows = []
-    for delay in delays:
-        config = scale.session_config(churn_fraction=churn_fraction, seed_offset=seed_offset)
-        config = replace(config, failure_detection_delay=delay)
-        rows.append(_result_row(_run(config)))
+    tasks = [
+        _task(
+            scale,
+            patch=(("failure_detection_delay", delay),),
+            seed_offset=seed_offset,
+            churn_fraction=churn_fraction,
+        )
+        for delay in delays
+    ]
+    rows = [_result_row(s) for s in _run_tasks(scale, tasks, executor, store, resume)]
     return _figure_from_rows(
         figure_id="ablation-detection-delay",
         title=f"Failure-detection delay ablation ({churn_fraction:.0%} churn, X = 1)",
@@ -168,13 +220,20 @@ def source_fanout_ablation(
     scale: ExperimentScale = REDUCED,
     source_fanouts: Sequence[int] = (1, 3, 7, 14),
     seed_offset: int = 0,
+    executor=None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
 ) -> FigureResult:
     """How many first-hop copies the source injects (the paper fixes 7)."""
-    rows = []
-    for source_fanout in source_fanouts:
-        config = scale.session_config(seed_offset=seed_offset)
-        config = replace(config, gossip=replace(config.gossip, source_fanout=source_fanout))
-        rows.append(_result_row(_run(config)))
+    tasks = [
+        _task(
+            scale,
+            patch=(("gossip.source_fanout", source_fanout),),
+            seed_offset=seed_offset,
+        )
+        for source_fanout in source_fanouts
+    ]
+    rows = [_result_row(s) for s in _run_tasks(scale, tasks, executor, store, resume)]
     return _figure_from_rows(
         figure_id="ablation-source-fanout",
         title="Source fanout ablation",

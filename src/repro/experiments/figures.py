@@ -1,9 +1,16 @@
 """Generators for every figure of the paper's evaluation section.
 
 Each ``figureN_*`` function sweeps the parameter the original figure varies,
-runs one streaming session per point (through the shared run cache) and
+obtains one :class:`~repro.sweep.PointSummary` per point through a
+:class:`~repro.sweep.SummaryCache` (which runs the session serially on a
+miss, or serves results precomputed by the parallel sweep executor) and
 returns a :class:`FigureResult` whose series correspond to the lines of the
 original plot.  ``FigureResult.to_table()`` renders the same data as text.
+
+To regenerate figures on several cores, collect their points with
+:func:`figure_points`, execute them with :func:`repro.sweep.run_sweep`,
+prime a cache with the outcome and call the generators against it — this is
+exactly what ``python -m repro.experiments --jobs N`` does.
 
 The x/y semantics follow the paper exactly:
 
@@ -25,14 +32,24 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.membership.partners import INFINITE
 from repro.metrics.quality import OFFLINE_LAG
 from repro.metrics.report import Series, format_series_table
 
-from repro.experiments.runner import ExperimentPoint, RunCache, shared_cache
+from repro.experiments.runner import ExperimentPoint, format_rate
 from repro.experiments.scale import REDUCED, ExperimentScale
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.sweep.cache import SummaryCache
+
+
+def _default_cache() -> "SummaryCache":
+    """The process-wide summary cache (imported lazily: sweep imports us)."""
+    from repro.sweep.cache import shared_summary_cache
+
+    return shared_summary_cache
 
 
 @dataclass
@@ -75,7 +92,7 @@ def _x_value(value: float) -> float:
 
 
 def _rate_label(value: float) -> str:
-    return "inf" if value == INFINITE else str(int(value))
+    return format_rate(value)
 
 
 # ----------------------------------------------------------------------
@@ -83,11 +100,11 @@ def _rate_label(value: float) -> str:
 # ----------------------------------------------------------------------
 def figure1_fanout_700(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
     fanouts: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     """Percentage of nodes viewing with < 1 % jitter vs fanout (700 kbps cap)."""
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     fanouts = tuple(fanouts) if fanouts is not None else scale.fanout_grid
     lags = sorted(scale.lag_values, reverse=True)
 
@@ -101,9 +118,9 @@ def figure1_fanout_700(
     )
     for fanout in fanouts:
         point = ExperimentPoint(scale_name=scale.name, fanout=fanout)
-        session = cache.get(scale, point)
+        summary = cache.get(scale, point)
         for lag, series in zip(lags, result.series):
-            series.add(float(fanout), session.viewing_percentage(lag=lag))
+            series.add(float(fanout), summary.viewing_percentage(lag))
     return result
 
 
@@ -112,11 +129,11 @@ def figure1_fanout_700(
 # ----------------------------------------------------------------------
 def figure2_lag_cdf(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
     fanouts: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     """Cumulative distribution of per-node critical lag for several fanouts."""
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     fanouts = tuple(fanouts) if fanouts is not None else scale.fig2_fanouts
 
     result = FigureResult(
@@ -128,10 +145,9 @@ def figure2_lag_cdf(
     )
     for fanout in fanouts:
         point = ExperimentPoint(scale_name=scale.name, fanout=fanout)
-        session = cache.get(scale, point)
-        quality = session.quality()
+        summary = cache.get(scale, point)
         series = Series(label=f"fanout {fanout}")
-        fractions = quality.lag_cdf(scale.fig2_lag_grid)
+        fractions = summary.lag_cdf_values(scale.fig2_lag_grid)
         for lag, fraction in zip(scale.fig2_lag_grid, fractions):
             series.add(lag, fraction * 100.0)
         result.series.append(series)
@@ -143,12 +159,12 @@ def figure2_lag_cdf(
 # ----------------------------------------------------------------------
 def figure3_fanout_relaxed_caps(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
     fanouts: Optional[Sequence[int]] = None,
     caps_kbps: Optional[Sequence[float]] = None,
 ) -> FigureResult:
     """Fanout sweep under looser upload caps (offline and 10 s lag)."""
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     fanouts = tuple(fanouts) if fanouts is not None else scale.fanout_grid
     caps = tuple(caps_kbps) if caps_kbps is not None else scale.fig3_caps_kbps
 
@@ -164,8 +180,8 @@ def figure3_fanout_relaxed_caps(
             series = Series(label=f"{_lag_label(lag)}, {cap:.0f}kbps cap")
             for fanout in fanouts:
                 point = ExperimentPoint(scale_name=scale.name, fanout=fanout, cap_kbps=cap)
-                session = cache.get(scale, point)
-                series.add(float(fanout), session.viewing_percentage(lag=lag))
+                summary = cache.get(scale, point)
+                series.add(float(fanout), summary.viewing_percentage(lag))
             result.series.append(series)
     return result
 
@@ -175,11 +191,11 @@ def figure3_fanout_relaxed_caps(
 # ----------------------------------------------------------------------
 def figure4_bandwidth_usage(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
     pairs: Optional[Sequence[tuple]] = None,
 ) -> FigureResult:
     """Per-node upload usage sorted by contribution, for (fanout, cap) pairs."""
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     pairs = tuple(pairs) if pairs is not None else scale.fig4_pairs
 
     result = FigureResult(
@@ -191,8 +207,8 @@ def figure4_bandwidth_usage(
     )
     for fanout, cap in pairs:
         point = ExperimentPoint(scale_name=scale.name, fanout=fanout, cap_kbps=cap)
-        session = cache.get(scale, point)
-        usage = session.bandwidth_usage().sorted_usage(descending=True)
+        summary = cache.get(scale, point)
+        usage = summary.sorted_usage(descending=True)
         series = Series(label=f"fanout {fanout}, {cap:.0f}kbps cap")
         for rank, kbps in enumerate(usage, start=1):
             series.add(float(rank), kbps)
@@ -205,11 +221,11 @@ def figure4_bandwidth_usage(
 # ----------------------------------------------------------------------
 def figure5_refresh_rate(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
     refresh_values: Optional[Sequence[float]] = None,
 ) -> FigureResult:
     """Viewing percentage as a function of the view refresh rate X."""
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     refresh_values = (
         tuple(refresh_values) if refresh_values is not None else scale.refresh_grid
     )
@@ -226,9 +242,9 @@ def figure5_refresh_rate(
     )
     for refresh in refresh_values:
         point = ExperimentPoint(scale_name=scale.name, refresh_every=refresh)
-        session = cache.get(scale, point)
+        summary = cache.get(scale, point)
         for lag, series in zip(lags, result.series):
-            series.add(_x_value(refresh), session.viewing_percentage(lag=lag))
+            series.add(_x_value(refresh), summary.viewing_percentage(lag))
     return result
 
 
@@ -237,7 +253,7 @@ def figure5_refresh_rate(
 # ----------------------------------------------------------------------
 def figure6_feedme_rate(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
     feedme_values: Optional[Sequence[float]] = None,
 ) -> FigureResult:
     """Viewing percentage as a function of the feed-me request rate Y.
@@ -246,7 +262,7 @@ def figure6_feedme_rate(
     otherwise static view (X = ∞): the only view changes come from feed-me
     insertions, so the sweep isolates the effect of Y.
     """
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     feedme_values = tuple(feedme_values) if feedme_values is not None else scale.feedme_grid
     lags = sorted(scale.lag_values, reverse=True)
 
@@ -265,9 +281,9 @@ def figure6_feedme_rate(
             refresh_every=INFINITE,
             feed_me_every=feedme,
         )
-        session = cache.get(scale, point)
+        summary = cache.get(scale, point)
         for lag, series in zip(lags, result.series):
-            series.add(_x_value(feedme), session.viewing_percentage(lag=lag))
+            series.add(_x_value(feedme), summary.viewing_percentage(lag))
     return result
 
 
@@ -276,12 +292,12 @@ def figure6_feedme_rate(
 # ----------------------------------------------------------------------
 def figure7_churn_unaffected(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
     churn_fractions: Optional[Sequence[float]] = None,
     refresh_values: Optional[Sequence[float]] = None,
 ) -> FigureResult:
     """Percentage of *surviving* nodes with < 1 % jitter after a catastrophic failure."""
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     churn_fractions = (
         tuple(churn_fractions) if churn_fractions is not None else scale.churn_grid
     )
@@ -305,20 +321,20 @@ def figure7_churn_unaffected(
                     refresh_every=refresh,
                     churn_fraction=fraction,
                 )
-                session = cache.get(scale, point)
-                series.add(fraction * 100.0, session.viewing_percentage(lag=lag))
+                summary = cache.get(scale, point)
+                series.add(fraction * 100.0, summary.viewing_percentage(lag))
             result.series.append(series)
     return result
 
 
 def figure8_churn_windows(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
     churn_fractions: Optional[Sequence[float]] = None,
     refresh_values: Optional[Sequence[float]] = None,
 ) -> FigureResult:
     """Average percentage of complete windows over survivors vs churn (20 s lag)."""
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     churn_fractions = (
         tuple(churn_fractions) if churn_fractions is not None else scale.churn_grid
     )
@@ -341,8 +357,8 @@ def figure8_churn_windows(
                 refresh_every=refresh,
                 churn_fraction=fraction,
             )
-            session = cache.get(scale, point)
-            series.add(fraction * 100.0, session.average_complete_windows_percentage(20.0))
+            summary = cache.get(scale, point)
+            series.add(fraction * 100.0, summary.average_complete_windows_percentage(20.0))
         result.series.append(series)
     return result
 
@@ -360,10 +376,27 @@ ALL_FIGURES = {
 """All figure generators keyed by figure id (used by the CLI-style examples)."""
 
 
+def figure_points(figure_id: str, scale: ExperimentScale) -> List[ExperimentPoint]:
+    """The experiment points ``figure_id`` needs at ``scale``, without running.
+
+    Implemented as a dry run of the generator against a
+    :class:`~repro.sweep.RecordingCache`, so the plan is exactly the
+    generator's real request sequence (deduplicated) and cannot drift from
+    its implementation.
+    """
+    if figure_id not in ALL_FIGURES:
+        raise KeyError(f"unknown figure {figure_id!r}; available: {sorted(ALL_FIGURES)}")
+    from repro.sweep.cache import RecordingCache
+
+    recorder = RecordingCache()
+    ALL_FIGURES[figure_id](scale, recorder)
+    return recorder.points()
+
+
 def generate_all(
     scale: ExperimentScale = REDUCED,
-    cache: Optional[RunCache] = None,
+    cache: Optional[SummaryCache] = None,
 ) -> Dict[str, FigureResult]:
     """Regenerate every figure at the given scale (shares runs via the cache)."""
-    cache = cache if cache is not None else shared_cache
+    cache = cache if cache is not None else _default_cache()
     return {figure_id: generator(scale, cache) for figure_id, generator in ALL_FIGURES.items()}

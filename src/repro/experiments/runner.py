@@ -1,9 +1,15 @@
-"""Running individual experiment points, with caching across figures.
+"""Running individual experiment points.
 
-Several figures share underlying runs (Figure 2 re-analyzes Figure 1's runs;
-Figure 8 re-analyzes Figure 7's).  :class:`RunCache` memoizes completed
-sessions by their experiment point so a benchmark session that regenerates
-all eight figures does not repeat identical simulations.
+An :class:`ExperimentPoint` names one cell of a parameter sweep;
+:func:`run_point` executes it from scratch.  :class:`RunCache` memoizes full
+:class:`~repro.core.session.SessionResult` objects by point for analyses
+that need result-level access (delivery logs, traffic counters).
+
+The figure generators no longer cache results here: they consume compact
+:class:`~repro.sweep.PointSummary` records through
+:class:`repro.sweep.SummaryCache`, which the :mod:`repro.sweep` subsystem
+can fill from a multiprocess executor and persist in a resumable
+:class:`~repro.sweep.ResultStore`.
 """
 
 from __future__ import annotations
@@ -16,6 +22,21 @@ from repro.membership.partners import INFINITE
 from repro.scenarios.builder import SessionBuilder
 
 from repro.experiments.scale import ExperimentScale
+
+
+def format_rate(value: float) -> str:
+    """Render a rate knob (X / Y, in gossip periods) honestly.
+
+    ``INFINITE`` renders as ``"inf"``, whole numbers without a decimal point,
+    and fractional rates (X = 0.5 means "refresh twice per period") keep
+    their fraction instead of being truncated to ``0``.
+    """
+    if value == INFINITE:
+        return "inf"
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return f"{number:g}"
 
 
 @dataclass(frozen=True)
@@ -45,9 +66,9 @@ class ExperimentPoint:
             parts.append(f"fanout={self.fanout}")
         if self.cap_kbps is not None:
             parts.append(f"cap={self.cap_kbps:.0f}kbps")
-        parts.append(f"X={'inf' if self.refresh_every == INFINITE else int(self.refresh_every)}")
+        parts.append(f"X={format_rate(self.refresh_every)}")
         if self.feed_me_every != INFINITE:
-            parts.append(f"Y={int(self.feed_me_every)}")
+            parts.append(f"Y={format_rate(self.feed_me_every)}")
         if self.churn_fraction > 0.0:
             parts.append(f"churn={self.churn_fraction:.0%}")
         if self.seed_offset:
@@ -72,10 +93,11 @@ def run_point(scale: ExperimentScale, point: ExperimentPoint) -> SessionResult:
 class RunCache:
     """Memoizes :func:`run_point` results by experiment point.
 
-    A module-level :data:`shared_cache` is used by the figure generators so
-    that regenerating all figures in one process reuses overlapping runs
-    (e.g. the fanout-7 / 700 kbps / X=1 point appears in Figures 1, 2, 4, 5
-    and 6).
+    Useful for analyses that need the full :class:`SessionResult` of
+    overlapping points (e.g. the paper-claims test-suite inspects traffic
+    counters).  The figure generators use the lighter
+    :class:`repro.sweep.SummaryCache` instead, whose entries are compact,
+    picklable and persistable.
     """
 
     def __init__(self) -> None:
@@ -114,7 +136,3 @@ class RunCache:
     def clear(self) -> None:
         """Drop all cached results (frees a lot of memory after a sweep)."""
         self._results.clear()
-
-
-shared_cache = RunCache()
-"""Process-wide cache shared by all figure generators."""

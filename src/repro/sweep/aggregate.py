@@ -1,0 +1,179 @@
+"""Aggregating seed replicas into per-cell statistics and tables.
+
+A sweep with ``replicas > 1`` produces several summaries per cell (same
+parameters, different seeds).  This module reduces them to per-cell
+:class:`CellAggregate` rows — mean, sample standard deviation and a 95 %
+confidence half-width per metric — and renders the rows as an aligned text
+table through the same :func:`~repro.metrics.report.format_table` helper the
+figures use.
+
+Determinism: cells are ordered by cell id and replicas by seed before any
+arithmetic, so the aggregate table of a parallel sweep is byte-identical to
+the serial one (floating-point summation order included).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.metrics.quality import OFFLINE_LAG
+from repro.metrics.report import format_table
+
+from repro.sweep.spec import SweepTask
+from repro.sweep.summary import PointSummary
+
+
+@dataclass(frozen=True)
+class Stat:
+    """Mean, sample stdev and 95 % CI half-width of one metric's replicas."""
+
+    mean: float
+    stdev: float
+    ci95: float
+    n: int
+
+    def __str__(self) -> str:
+        if self.n <= 1:
+            return f"{self.mean:.2f}"
+        return f"{self.mean:.2f}±{self.ci95:.2f}"
+
+
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+"""Two-sided 95 % Student-t quantiles by degrees of freedom (z beyond 30)."""
+
+
+def t_quantile_975(degrees_of_freedom: int) -> float:
+    """The 97.5 % Student-t quantile (≈ 1.96 for large samples)."""
+    if degrees_of_freedom < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {degrees_of_freedom!r}")
+    return _T_975.get(degrees_of_freedom, 1.96)
+
+
+def stat_of(values: Sequence[float]) -> Stat:
+    """Aggregate one metric's replica values (deterministic order-sensitive).
+
+    The 95 % CI half-width uses the Student-t quantile for the sample size —
+    at the 3-5 replicas sweeps typically use, the normal approximation
+    (z = 1.96) would understate the interval by more than half.
+    """
+    if not values:
+        raise ValueError("cannot aggregate an empty value list")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Stat(mean=mean, stdev=0.0, ci95=0.0, n=1)
+    variance = sum((value - mean) ** 2 for value in values) / (n - 1)
+    stdev = math.sqrt(variance)
+    ci95 = t_quantile_975(n - 1) * stdev / math.sqrt(n)
+    return Stat(mean=mean, stdev=stdev, ci95=ci95, n=n)
+
+
+@dataclass(frozen=True)
+class CellAggregate:
+    """Aggregated metrics of one sweep cell across its seed replicas."""
+
+    cell_id: str
+    n: int
+    viewing: Tuple[Tuple[float, Stat], ...]
+    complete_windows: Tuple[Tuple[float, Stat], ...]
+    delivery: Stat
+
+    def viewing_stat(self, lag: float) -> Stat:
+        """Aggregated viewing percentage at ``lag``."""
+        for recorded_lag, stat in self.viewing:
+            if recorded_lag == lag:
+                return stat
+        raise KeyError(f"cell {self.cell_id!r} has no viewing lag {lag!r}")
+
+    def complete_windows_stat(self, lag: float) -> Stat:
+        """Aggregated complete-window percentage at ``lag``."""
+        for recorded_lag, stat in self.complete_windows:
+            if recorded_lag == lag:
+                return stat
+        raise KeyError(f"cell {self.cell_id!r} has no window lag {lag!r}")
+
+
+def aggregate(results: Mapping[SweepTask, PointSummary]) -> List[CellAggregate]:
+    """Group results by cell id and aggregate each metric over replicas.
+
+    Cells come out sorted by cell id; within a cell, replicas are sorted by
+    seed before summation so the result is independent of completion order.
+    """
+    by_cell: Dict[str, List[PointSummary]] = {}
+    for task, summary in results.items():
+        by_cell.setdefault(task.cell_id, []).append(summary)
+
+    aggregates: List[CellAggregate] = []
+    for cell_id in sorted(by_cell):
+        replicas = sorted(by_cell[cell_id], key=lambda summary: summary.seed)
+        viewing_lags = [lag for lag, _ in replicas[0].viewing]
+        window_lags = [lag for lag, _ in replicas[0].complete_windows]
+        aggregates.append(
+            CellAggregate(
+                cell_id=cell_id,
+                n=len(replicas),
+                viewing=tuple(
+                    (lag, stat_of([replica.viewing_percentage(lag) for replica in replicas]))
+                    for lag in viewing_lags
+                ),
+                complete_windows=tuple(
+                    (
+                        lag,
+                        stat_of(
+                            [
+                                replica.average_complete_windows_percentage(lag)
+                                for replica in replicas
+                            ]
+                        ),
+                    )
+                    for lag in window_lags
+                ),
+                delivery=stat_of([replica.delivery_percentage for replica in replicas]),
+            )
+        )
+    return aggregates
+
+
+def _lag_header(lag: float) -> str:
+    if math.isinf(lag):
+        return "offline"
+    return f"{lag:g}s"
+
+
+def aggregate_table(aggregates: Sequence[CellAggregate]) -> str:
+    """Render per-cell aggregates as one aligned text table.
+
+    Columns: cell id, replica count, ``mean±ci95`` viewing percentage per
+    lag, complete-window percentages, and the delivery percentage.
+    """
+    if not aggregates:
+        return "(no cells)"
+    viewing_lags = [lag for lag, _ in aggregates[0].viewing]
+    window_lags = [lag for lag, _ in aggregates[0].complete_windows]
+    headers = (
+        ["cell", "n"]
+        + [f"view@{_lag_header(lag)}" for lag in viewing_lags]
+        + [f"windows@{_lag_header(lag)}" for lag in window_lags]
+        + ["delivery"]
+    )
+    rows: List[List[object]] = []
+    for cell in aggregates:
+        row: List[object] = [cell.cell_id, cell.n]
+        row.extend(str(cell.viewing_stat(lag)) for lag in viewing_lags)
+        row.extend(str(cell.complete_windows_stat(lag)) for lag in window_lags)
+        row.append(str(cell.delivery))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+OFFLINE = OFFLINE_LAG
+"""Re-exported for table callers that aggregate the offline-viewing lag."""

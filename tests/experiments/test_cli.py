@@ -1,8 +1,27 @@
 """Tests for the ``python -m repro.experiments`` command-line interface."""
 
+import re
+
 import pytest
 
+import repro.experiments.scale as scale_module
 from repro.experiments.__main__ import main
+
+from tests.experiments.conftest import TINY
+
+
+@pytest.fixture
+def tiny_cli_scale(monkeypatch):
+    """Expose the tiny test scale to the CLI's ``--scale`` choices."""
+    monkeypatch.setitem(scale_module._SCALES, TINY.name, TINY)
+    return TINY
+
+
+def _sweep_counts(output: str):
+    """Parse '[sweep: executed N point(s), reused M from store, ...]' lines."""
+    match = re.search(r"executed (\d+) point\(s\), reused (\d+) from store", output)
+    assert match, f"no sweep accounting line in output:\n{output}"
+    return int(match.group(1)), int(match.group(2))
 
 
 class TestListing:
@@ -30,3 +49,118 @@ class TestErrors:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure1", "--scale", "galactic"])
+
+    def test_resume_without_store_rejected(self, capsys):
+        assert main(["figure1", "--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().out
+
+    def test_nonpositive_jobs_rejected(self, capsys):
+        assert main(["figure1", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().out
+
+
+class TestSweepFlags:
+    def test_serial_run_reports_sweep_accounting(self, tiny_cli_scale, capsys):
+        assert main(["figure1", "--scale", tiny_cli_scale.name]) == 0
+        output = capsys.readouterr().out
+        executed, reused = _sweep_counts(output)
+        assert executed == len(tiny_cli_scale.fanout_grid)
+        assert reused == 0
+        assert "figure1" in output
+
+    def test_jobs_flag_produces_identical_tables(self, tiny_cli_scale, capsys):
+        assert main(["figure1", "--scale", tiny_cli_scale.name]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(["figure1", "--scale", tiny_cli_scale.name, "--jobs", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+
+        def table_of(output: str) -> str:
+            start = output.index("figure1: ")
+            end = output.index("\n[figure1 regenerated")
+            return output[start:end]
+
+        assert table_of(serial_output) == table_of(parallel_output)
+
+    def test_overlapping_figures_share_points(self, tiny_cli_scale, capsys):
+        """Figures 7 and 8 request identical points; the sweep dedupes them."""
+        assert main(["figure7", "figure8", "--scale", tiny_cli_scale.name]) == 0
+        executed, _ = _sweep_counts(capsys.readouterr().out)
+        expected = len(tiny_cli_scale.churn_grid) * len(tiny_cli_scale.churn_refresh_values)
+        assert executed == expected
+
+
+class TestKillAndResume:
+    def test_interrupted_sweep_resumes_missing_cells_only(
+        self, tiny_cli_scale, tmp_path, capsys
+    ):
+        store = tmp_path / "cli-store.jsonl"
+        scale_name = tiny_cli_scale.name
+
+        # Full run, persisting every completed point.
+        assert main(["figure1", "--scale", scale_name, "--store", str(store)]) == 0
+        first_output = capsys.readouterr().out
+        executed, reused = _sweep_counts(first_output)
+        assert (executed, reused) == (len(tiny_cli_scale.fanout_grid), 0)
+
+        # Simulate a kill mid-sweep: only the first two records survived.
+        lines = store.read_text(encoding="utf-8").splitlines(keepends=True)
+        store.write_text("".join(lines[:2]), encoding="utf-8")
+
+        # Resuming re-runs only the missing cells...
+        assert main(
+            ["figure1", "--scale", scale_name, "--store", str(store), "--resume"]
+        ) == 0
+        resumed_output = capsys.readouterr().out
+        executed, reused = _sweep_counts(resumed_output)
+        assert reused == 2
+        assert executed == len(tiny_cli_scale.fanout_grid) - 2
+
+        # ...and a second resume re-runs nothing at all.
+        assert main(
+            ["figure1", "--scale", scale_name, "--store", str(store), "--resume"]
+        ) == 0
+        executed, reused = _sweep_counts(capsys.readouterr().out)
+        assert executed == 0
+        assert reused == len(tiny_cli_scale.fanout_grid)
+
+    def test_resumed_table_matches_uninterrupted_run(self, tiny_cli_scale, tmp_path, capsys):
+        store = tmp_path / "cli-store.jsonl"
+        scale_name = tiny_cli_scale.name
+
+        assert main(["figure1", "--scale", scale_name]) == 0
+        baseline = capsys.readouterr().out
+        baseline_table = baseline[baseline.index("figure1: ") : baseline.index("\n[figure1")]
+
+        assert main(["figure1", "--scale", scale_name, "--store", str(store)]) == 0
+        capsys.readouterr()
+        lines = store.read_text(encoding="utf-8").splitlines(keepends=True)
+        store.write_text("".join(lines[:3]), encoding="utf-8")
+        assert main(
+            ["figure1", "--scale", scale_name, "--store", str(store), "--resume"]
+        ) == 0
+        resumed = capsys.readouterr().out
+        resumed_table = resumed[resumed.index("figure1: ") : resumed.index("\n[figure1")]
+        assert resumed_table == baseline_table
+
+    def test_ablations_resume_through_the_store(self, tiny_cli_scale, tmp_path, capsys):
+        store = tmp_path / "ablation-store.jsonl"
+        scale_name = tiny_cli_scale.name
+        target = "ablation:source-fanout"
+
+        assert main([target, "--scale", scale_name, "--store", str(store)]) == 0
+        first = capsys.readouterr().out
+        assert "ablation-source-fanout" in first
+        records = store.read_text(encoding="utf-8").splitlines()
+        assert len(records) == 4  # one per source fanout in the default grid
+
+        # A resumed run re-runs nothing and prints the identical table.
+        assert main([target, "--scale", scale_name, "--store", str(store), "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert len(store.read_text(encoding="utf-8").splitlines()) == 4
+
+        def table_of(output: str) -> str:
+            start = output.index("ablation-source-fanout:")
+            end = output.index("\n[ablation:source-fanout regenerated")
+            return output[start:end]
+
+        assert table_of(first) == table_of(second)

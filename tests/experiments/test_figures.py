@@ -19,13 +19,13 @@ from repro.experiments.figures import (
     figure7_churn_unaffected,
     figure8_churn_windows,
 )
-from repro.experiments.runner import RunCache
+from repro.sweep.cache import SummaryCache
 
 
 @pytest.fixture(scope="module")
-def cache() -> RunCache:
+def cache() -> SummaryCache:
     """One cache shared by every figure test in this module."""
-    return RunCache()
+    return SummaryCache()
 
 
 class TestFigure1:
@@ -106,6 +106,20 @@ class TestFigure7And8:
         figure8_churn_windows(tiny_scale, cache)
         assert cache.misses == misses_mid
         assert misses_mid >= misses_before
+
+    def test_fractional_refresh_labels_render_honestly(self, tiny_scale):
+        """Regression: X=0.5 series labels used to truncate to X=0.
+
+        GossipConfig only accepts whole rates, so this is a dry run against a
+        recording cache: the labels must render honestly even for values the
+        simulation itself would reject.
+        """
+        from repro.sweep.cache import RecordingCache
+
+        result = figure7_churn_unaffected(
+            tiny_scale, RecordingCache(), churn_fractions=(0.2,), refresh_values=(0.5,)
+        )
+        assert all("X=0.5" in series.label for series in result.series)
 
     def test_window_percentages_in_range(self, tiny_scale, cache):
         result = figure8_churn_windows(tiny_scale, cache)

@@ -2,8 +2,21 @@
 
 import pytest
 
-from repro.experiments.runner import ExperimentPoint, RunCache, run_point
+from repro.experiments.runner import ExperimentPoint, RunCache, format_rate, run_point
 from repro.membership.partners import INFINITE
+
+
+class TestFormatRate:
+    def test_whole_rates_render_as_integers(self):
+        assert format_rate(1) == "1"
+        assert format_rate(20.0) == "20"
+
+    def test_infinite_renders_as_inf(self):
+        assert format_rate(INFINITE) == "inf"
+
+    def test_fractional_rates_keep_their_fraction(self):
+        assert format_rate(0.5) == "0.5"
+        assert format_rate(2.25) == "2.25"
 
 
 class TestExperimentPoint:
@@ -19,6 +32,13 @@ class TestExperimentPoint:
         assert "Y=5" in text
         assert "churn=20%" in text
         assert "seed+3" in text
+
+    def test_describe_keeps_fractional_rates(self):
+        """Regression: X=0.5 used to be truncated to X=0 (int(0.5) == 0)."""
+        point = ExperimentPoint(scale_name="tiny", refresh_every=0.5, feed_me_every=2.5)
+        text = point.describe()
+        assert "X=0.5" in text
+        assert "Y=2.5" in text
 
     def test_points_are_hashable_and_comparable(self):
         first = ExperimentPoint(scale_name="tiny", fanout=4)

@@ -1,0 +1,36 @@
+"""Fixtures for the sweep subsystem tests: a tiny scale that runs in seconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import ExperimentScale
+from repro.membership.partners import INFINITE
+
+SWEEP_TINY = ExperimentScale(
+    name="sweep-tiny",
+    num_nodes=14,
+    payload_bytes=1000,
+    source_packets_per_window=10,
+    fec_packets_per_window=1,
+    num_windows=10,
+    max_backlog_seconds=6.0,
+    extra_time=10.0,
+    fanout_grid=(2, 4, 6),
+    fig2_fanouts=(2, 4),
+    fig2_lag_grid=(0.0, 5.0, 10.0, 20.0),
+    fig3_caps_kbps=(2000.0,),
+    fig4_pairs=((4, 700.0),),
+    refresh_grid=(1, INFINITE),
+    feedme_grid=(1, INFINITE),
+    churn_grid=(0.2,),
+    churn_refresh_values=(1,),
+    optimal_fanout=4,
+    seed=23,
+)
+"""A deliberately tiny scale so sweep tests complete in a few seconds."""
+
+
+@pytest.fixture(scope="session")
+def sweep_scale() -> ExperimentScale:
+    return SWEEP_TINY

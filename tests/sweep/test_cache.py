@@ -1,0 +1,89 @@
+"""Tests for the summary cache, plan recording, and figure integration."""
+
+import pytest
+
+from repro.experiments.figures import figure_points, figure1_fanout_700
+from repro.experiments.runner import ExperimentPoint
+from repro.sweep.cache import RecordingCache, SummaryCache
+from repro.sweep.executor import SerialExecutor, run_sweep
+from repro.sweep.spec import SweepTask
+
+
+class TestSummaryCache:
+    def test_cache_avoids_reruns(self, sweep_scale):
+        cache = SummaryCache()
+        point = ExperimentPoint(scale_name=sweep_scale.name, fanout=4)
+        first = cache.get(sweep_scale, point)
+        second = cache.get(sweep_scale, point)
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_scale_mismatch_rejected(self, sweep_scale):
+        cache = SummaryCache()
+        with pytest.raises(ValueError):
+            cache.get(sweep_scale, ExperimentPoint(scale_name="reduced", fanout=4))
+
+    def test_clear_empties_cache(self, sweep_scale):
+        cache = SummaryCache()
+        cache.get(sweep_scale, ExperimentPoint(scale_name=sweep_scale.name, fanout=4))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_primed_results_serve_without_running(self, sweep_scale):
+        tasks = [
+            SweepTask(point=ExperimentPoint(scale_name=sweep_scale.name, fanout=f))
+            for f in (2, 4)
+        ]
+        outcome = run_sweep(sweep_scale, tasks, executor=SerialExecutor())
+        cache = SummaryCache()
+        assert cache.prime(outcome.results) == 2
+        summary = cache.get(sweep_scale, tasks[0].point)
+        assert summary is outcome.results[tasks[0]]
+        assert cache.misses == 0  # nothing was computed
+
+    def test_patched_tasks_are_not_primed(self, sweep_scale):
+        task = SweepTask(
+            point=ExperimentPoint(scale_name=sweep_scale.name),
+            patch=(("gossip.source_fanout", 1),),
+        )
+        outcome = run_sweep(sweep_scale, [task], executor=SerialExecutor())
+        cache = SummaryCache()
+        assert cache.prime(outcome.results) == 0
+        assert len(cache) == 0
+
+
+class TestRecordingCache:
+    def test_records_points_without_simulating(self, sweep_scale):
+        recorder = RecordingCache()
+        result = figure1_fanout_700(sweep_scale, recorder)
+        # A dry run: real series structure, all-zero values.
+        assert [series.label for series in result.series]
+        assert all(y == 0.0 for series in result.series for y in series.ys())
+        assert len(recorder.points()) == len(sweep_scale.fanout_grid)
+
+    def test_figure_points_matches_generator_requests(self, sweep_scale):
+        points = figure_points("figure1", sweep_scale)
+        expected = [
+            ExperimentPoint(scale_name=sweep_scale.name, fanout=f)
+            for f in sweep_scale.fanout_grid
+        ]
+        assert points == expected
+
+    def test_figure_points_unknown_figure(self, sweep_scale):
+        with pytest.raises(KeyError):
+            figure_points("figure99", sweep_scale)
+
+    def test_tasks_wrap_points_patch_free(self, sweep_scale):
+        recorder = RecordingCache()
+        figure1_fanout_700(sweep_scale, recorder)
+        tasks = recorder.tasks()
+        assert [task.point for task in tasks] == recorder.points()
+        assert all(task.patch == () for task in tasks)
+
+    def test_figures_share_overlapping_points(self, sweep_scale):
+        """Figure 7 and Figure 8 request identical points (shared runs)."""
+        assert set(figure_points("figure7", sweep_scale)) == set(
+            figure_points("figure8", sweep_scale)
+        )

@@ -1,0 +1,109 @@
+"""Tests for the JSONL result store: persistence, resume, crash safety."""
+
+import json
+
+from repro.sweep.store import ResultStore, code_fingerprint, run_fingerprint, scale_fingerprint
+from repro.sweep.summary import PointSummary
+
+
+def _summary(cell: str, seed: int) -> PointSummary:
+    return PointSummary(
+        cell_id=cell,
+        seed=seed,
+        viewing=((20.0, 85.0),),
+        delivery_ratio=0.97,
+    )
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable_within_a_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+    def test_scale_fingerprint_sees_contents_not_just_name(self):
+        import dataclasses
+
+        from repro.experiments.scale import SMOKE
+
+        impostor = dataclasses.replace(SMOKE, num_nodes=SMOKE.num_nodes + 1)
+        assert impostor.name == SMOKE.name
+        assert scale_fingerprint(impostor) != scale_fingerprint(SMOKE)
+        assert run_fingerprint(SMOKE) == f"{code_fingerprint()}+{scale_fingerprint(SMOKE)}"
+
+
+class TestPersistence:
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "absent.jsonl")
+        assert len(store) == 0
+        assert store.get("cell", 1, "fp") is None
+
+    def test_append_then_reload(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append("cell-a", 42, "fp", _summary("cell-a", 42))
+        store.append("cell-b", 43, "fp", _summary("cell-b", 43))
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        record = reloaded.get("cell-a", 42, "fp")
+        assert record is not None
+        assert record.viewing_percentage(20.0) == 85.0
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append("cell-a", 42, "old-code", _summary("cell-a", 42))
+        assert ResultStore(path).get("cell-a", 42, "new-code") is None
+
+    def test_append_does_not_parse_the_existing_file(self, tmp_path):
+        """Write-mostly runs stay O(1) per point regardless of store size."""
+        path = tmp_path / "store.jsonl"
+        path.write_text("corrupt line that would be skipped on load\n", encoding="utf-8")
+        store = ResultStore(path)
+        store.append("cell-a", 42, "fp", _summary("cell-a", 42))
+        assert store.skipped_lines == 0  # load() never ran
+        # A reader still sees the appended record.
+        assert ResultStore(path).get("cell-a", 42, "fp") is not None
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append("cell-a", 42, "fp", _summary("cell-a", 42))
+        newer = PointSummary(cell_id="cell-a", seed=42, delivery_ratio=1.0)
+        store.append("cell-a", 42, "fp", newer)
+        assert ResultStore(path).get("cell-a", 42, "fp").delivery_ratio == 1.0
+
+
+class TestCrashSafety:
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append("cell-a", 42, "fp", _summary("cell-a", 42))
+        store.append("cell-b", 43, "fp", _summary("cell-b", 43))
+        # Simulate a writer killed mid-record: truncate the last line.
+        content = path.read_text(encoding="utf-8")
+        path.write_text(content[: len(content) // 2 + len(content) // 3], encoding="utf-8")
+
+        reloaded = ResultStore(path)
+        assert reloaded.get("cell-a", 42, "fp") is not None
+        assert reloaded.get("cell-b", 43, "fp") is None
+        assert reloaded.skipped_lines == 1
+
+    def test_foreign_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('not json at all\n{"cell_id": "x"}\n', encoding="utf-8")
+        store = ResultStore(path)
+        store.load()
+        assert len(store) == 0
+        assert store.skipped_lines == 2
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append("cell-a", 42, "fp", _summary("cell-a", 42))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["cell_id"] == "cell-a"
+        assert record["seed"] == 42
+        assert record["fingerprint"] == "fp"

@@ -39,3 +39,11 @@ class TestPublicApi:
 
         assert hasattr(experiments, "figure1_fanout_700")
         assert hasattr(experiments, "REDUCED")
+
+    def test_sweep_package_importable(self):
+        from repro import sweep
+
+        for name in sweep.__all__:
+            assert hasattr(sweep, name), f"repro.sweep.__all__ lists {name} but it is missing"
+        assert callable(sweep.run_sweep)
+        assert callable(sweep.ParallelExecutor)
