@@ -4,6 +4,13 @@ Paper shape: a bell with an optimal plateau slightly above ln(n) (fanouts
 7–15 at 230 nodes); lower fanouts fail to disseminate, higher fanouts congest
 the upload caps.  The offline-viewing curve stays high for moderately large
 fanouts because the throttling queues drain after the source stops.
+
+The *right* edge of that bell — congestion collapse at oversized fanouts —
+only exists where the upload caps actually saturate.  At the 30-node smoke
+scale they never do (``ExperimentScale.fanout_collapse_expected`` is False),
+so the collapse check flips into its contrapositive: the curve must stay
+high at the largest fanout.  The rising left edge is asserted at every
+scale.
 """
 
 from repro.experiments.figures import figure1_fanout_700
@@ -28,5 +35,10 @@ def test_figure1_fanout_700(benchmark, bench_scale, bench_cache, record_figure):
     assert offline.y_at(optimal) >= 90.0
     # Shape check 2: the smallest fanout is clearly worse than the optimum.
     assert ten_second.y_at(smallest) < ten_second.y_at(optimal)
-    # Shape check 3: the largest fanout collapses for real-time lags.
-    assert ten_second.y_at(largest) < ten_second.y_at(optimal) - 30.0
+    if bench_scale.fanout_collapse_expected:
+        # Shape check 3: the largest fanout collapses for real-time lags.
+        assert ten_second.y_at(largest) < ten_second.y_at(optimal) - 30.0
+    else:
+        # No collapse regime at this scale: the caps never saturate, so the
+        # largest fanout must be at least as good as the optimum.
+        assert ten_second.y_at(largest) >= ten_second.y_at(optimal)

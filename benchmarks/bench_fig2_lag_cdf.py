@@ -3,6 +3,11 @@
 Paper shape: optimal fanouts reach ~100 % of nodes after a small critical
 lag; moderately larger fanouts shift the critical lag right; oversized
 fanouts never reach most nodes within reasonable lags.
+
+As in Figure 1's benchmark, the "oversized fanouts lose" ordering only
+exists where the upload caps saturate; at scales without a collapse regime
+(``fanout_collapse_expected`` False, i.e. smoke) the largest fanout must
+instead also reach (almost) everyone within the plotted lags.
 """
 
 import pytest
@@ -32,13 +37,18 @@ def test_figure2_lag_cdf(benchmark, bench_scale, bench_cache, record_figure):
         assert all(later >= earlier - 1e-9 for earlier, later in zip(ys, ys[1:]))
         assert all(0.0 <= y <= 100.0 for y in ys)
 
-    # The optimal fanout reaches (almost) everyone within the plotted lags,
-    # and does so faster than the largest fanout in the plot.
+    # The optimal fanout reaches (almost) everyone within the plotted lags.
     assert optimal_series.y_at(largest_lag) >= 90.0
     largest_fanout = max(bench_scale.fig2_fanouts)
     oversized_series = result.series_by_label(f"fanout {largest_fanout}")
-    mid_lag = bench_scale.fig2_lag_grid[len(bench_scale.fig2_lag_grid) // 3]
-    assert optimal_series.y_at(mid_lag) >= oversized_series.y_at(mid_lag)
+    if bench_scale.fanout_collapse_expected:
+        # ... and does so faster than the largest fanout in the plot.
+        mid_lag = bench_scale.fig2_lag_grid[len(bench_scale.fig2_lag_grid) // 3]
+        assert optimal_series.y_at(mid_lag) >= oversized_series.y_at(mid_lag)
+    else:
+        # No collapse regime at this scale: the largest fanout also serves
+        # (almost) everyone within the plotted lags.
+        assert oversized_series.y_at(largest_lag) >= 90.0
 
 
 @pytest.fixture(scope="module", autouse=True)

@@ -268,6 +268,10 @@ class StreamingSession:
         simulator = Simulator(seed=config.seed)
         self.simulator = simulator
         self.schedule = StreamSchedule(config.stream)
+        # Bind the delivery log to the schedule: every recorded delivery then
+        # also accumulates into per-(node, window) lag arrays, which is what
+        # lets the quality analyzer skip the per-delivery pass entirely.
+        self.deliveries.bind_schedule(self.schedule)
 
         self._build_membership()
         self._build_network()

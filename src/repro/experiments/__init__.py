@@ -9,8 +9,10 @@ Because a 230-node, multi-minute PlanetLab deployment is far beyond what a
 pure-Python packet-level simulation can sweep in reasonable time, every
 generator takes an :class:`ExperimentScale` choosing the system size, stream
 length and parameter grids: ``SMOKE`` (fast, for tests), ``REDUCED`` (the
-default used by the benchmark harness and EXPERIMENTS.md) and ``PAPER``
-(the paper's full 230-node configuration, for users with patience).
+default used by the benchmark harness and EXPERIMENTS.md), ``PAPER`` (the
+paper's full 230-node configuration, for users with patience) and
+``XLARGE`` (1,000 nodes at the paper's stream geometry, served by the
+fast path — see ``benchmarks/bench_large_session.py``).
 """
 
 from repro.experiments.figures import (
@@ -26,7 +28,7 @@ from repro.experiments.figures import (
     figure8_churn_windows,
 )
 from repro.experiments.runner import ExperimentPoint, RunCache, format_rate, run_point
-from repro.experiments.scale import PAPER, REDUCED, SMOKE, ExperimentScale, scale_by_name
+from repro.experiments.scale import PAPER, REDUCED, SMOKE, XLARGE, ExperimentScale, scale_by_name
 
 __all__ = [
     "ExperimentPoint",
@@ -36,6 +38,7 @@ __all__ = [
     "REDUCED",
     "RunCache",
     "SMOKE",
+    "XLARGE",
     "figure1_fanout_700",
     "figure2_lag_cdf",
     "figure3_fanout_relaxed_caps",

@@ -11,6 +11,11 @@ in reasonable time, so experiments are parameterized by a *scale*:
 * :data:`PAPER` — the paper's own 230 nodes, 600 kbps, 110-packet windows,
   ≈ 2 minutes of stream.  Provided for completeness; a full figure sweep at
   this scale takes hours of CPU.
+* :data:`XLARGE` — 1,000 nodes at the paper's exact stream geometry
+  (600 kbps, 101 + 9 windows), the gossip literature's evaluation size.
+  Single sessions are practical thanks to the fast path
+  (``benchmarks/bench_large_session.py`` runs one and reports stage
+  timings); full figure sweeps remain multi-core territory.
 
 Besides sizes, a scale also fixes the parameter grids (fanouts, X/Y values,
 churn fractions) so that figures probe sensible ranges for the system size:
@@ -30,6 +35,7 @@ from repro.membership.churn import CatastrophicChurn, ChurnSchedule
 from repro.membership.partners import INFINITE
 from repro.network.transport import NetworkConfig
 from repro.scenarios.builder import SessionBuilder
+from repro.scenarios.registry import large_session
 from repro.streaming.schedule import StreamConfig
 
 
@@ -74,6 +80,12 @@ class ExperimentScale:
         (fanout, cap_kbps) combinations of Figure 4.
     churn_time:
         Simulated time of the catastrophic failure.
+    fanout_collapse_expected:
+        Whether the scale's largest grid fanout congests the upload caps
+        enough to collapse real-time viewing (the right edge of the paper's
+        good-fanout window).  True at 60+ nodes; at the 30-node smoke scale
+        the caps never saturate, the collapse regime does not exist, and
+        shape checks must assert the curve *stays high* instead.
     """
 
     name: str
@@ -111,6 +123,7 @@ class ExperimentScale:
     )
     churn_time: float = 10.0
     optimal_fanout: int = 7
+    fanout_collapse_expected: bool = True
 
     def __post_init__(self) -> None:
         if self.num_nodes < 3:
@@ -233,6 +246,7 @@ SMOKE = ExperimentScale(
     churn_refresh_values=(1, INFINITE),
     fig3_caps_kbps=(2000.0,),
     optimal_fanout=7,
+    fanout_collapse_expected=False,
 )
 """Small and fast: integration tests and quick sanity experiments."""
 
@@ -265,11 +279,33 @@ PAPER = ExperimentScale(
 )
 """The paper's own configuration (230 nodes, 110-packet windows, ≈ 2 min)."""
 
-_SCALES = {scale.name: scale for scale in (SMOKE, REDUCED, PAPER)}
+# The xlarge scale and the registered "large-session" scenario are the same
+# geometry by construction: the scenario spec is the single source of truth
+# and the scale derives its sizing from it.
+_LARGE_SESSION_SPEC = large_session()
+
+XLARGE = ExperimentScale(
+    name="xlarge",
+    num_nodes=_LARGE_SESSION_SPEC.num_nodes,
+    payload_bytes=_LARGE_SESSION_SPEC.stream.payload_bytes,
+    source_packets_per_window=_LARGE_SESSION_SPEC.stream.source_packets_per_window,
+    fec_packets_per_window=_LARGE_SESSION_SPEC.stream.fec_packets_per_window,
+    num_windows=_LARGE_SESSION_SPEC.stream.num_windows,
+    max_backlog_seconds=_LARGE_SESSION_SPEC.max_backlog_seconds,
+    extra_time=_LARGE_SESSION_SPEC.extra_time,
+    fanout_grid=(4, 5, 6, 7, 10, 15, 20, 35, 50, 80, 120, 200),
+    fig2_fanouts=(4, 5, 7, 10, 20, 50, 120),
+    fig2_lag_grid=tuple(float(t) for t in range(0, 151, 5)),
+    fig4_pairs=((7, 700.0), (50, 700.0), (50, 1000.0), (50, 2000.0), (120, 2000.0)),
+    optimal_fanout=7,
+)
+"""Beyond-paper size: 1,000 nodes, paper stream ratios (fast-path flagship)."""
+
+_SCALES = {scale.name: scale for scale in (SMOKE, REDUCED, PAPER, XLARGE)}
 
 
 def scale_by_name(name: str) -> ExperimentScale:
-    """Look up a predefined scale by name (``smoke`` / ``reduced`` / ``paper``)."""
+    """Look up a predefined scale by name (``smoke``/``reduced``/``paper``/``xlarge``)."""
     try:
         return _SCALES[name]
     except KeyError:

@@ -17,13 +17,29 @@ From those sorted lags, for any playout lag ``L``:
   windows viewable at L, averaged over nodes.
 
 "Offline viewing" is simply ``L = ∞`` (:data:`OFFLINE_LAG`).
+
+Fast path
+---------
+A window is viewable at ``L`` iff its *critical lag* (the
+``required``-th-smallest packet lag, ``∞`` when fewer than ``required``
+packets ever arrived) is ≤ ``L``.  The analyzer therefore precomputes, per
+node, the **sorted array of finite window-critical lags** (plus a count of
+never-decodable windows) exactly once; every jitter / viewing /
+complete-window / CDF query over any number of lag values then reduces to
+one ``bisect`` per (node, lag) instead of a scan over all windows.  When the
+delivery log is bound to the analyzed schedule (sessions do this), the
+per-window lag arrays are taken straight from the log's incremental
+accumulators, so the analyzer never iterates per-delivery dictionaries at
+all.  Results are float-for-float identical to
+:class:`repro.metrics.reference.ReferenceQualityAnalyzer` — pinned by test.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.metrics.delivery import DeliveryLog
 from repro.network.message import NodeId
@@ -58,27 +74,60 @@ class StreamQualityAnalyzer:
         self._deliveries = deliveries
         self._nodes: List[NodeId] = list(nodes)
         # Per node, per window: sorted per-packet lags of delivered packets.
-        self._window_lags: Dict[NodeId, List[List[float]]] = {}
+        self._window_lags: Dict[NodeId, List[array]] = {}
+        # Per node: sorted finite window-critical lags + never-decodable count.
+        self._critical_finite: Dict[NodeId, array] = {}
+        self._critical_inf: Dict[NodeId, int] = {}
         self._precompute()
 
-    def _precompute(self) -> None:
-        schedule = self._schedule
-        num_windows = schedule.num_windows
-        per_window = schedule.config.packets_per_window
-        raw = self._deliveries.raw()
-        publish_times = [descriptor.publish_time for descriptor in schedule.packets()]
+    def _node_window_lags(
+        self, node_id: NodeId, publish_times: Optional[List[float]]
+    ) -> List[array]:
+        """One node's per-window lag arrays (from the log's accumulators when
+        the log is bound to this analyzer's stream, rebuilt otherwise)."""
+        deliveries = self._deliveries
+        if publish_times is None:
+            return deliveries.window_lags_of(node_id)
 
+        schedule = self._schedule
+        per_window = schedule.config.packets_per_window
+        num_packets = schedule.num_packets
+        lags: List[array] = [array("d") for _ in range(schedule.num_windows)]
+        for packet_id, delivered_at in deliveries.raw().get(node_id, {}).items():
+            if packet_id >= num_packets:
+                continue
+            lags[packet_id // per_window].append(
+                delivered_at - publish_times[packet_id]
+            )
+        return lags
+
+    def _precompute(self) -> None:
+        required = self.required_packets
+        bound = self._deliveries.schedule
+        publish_times: Optional[List[float]] = None
+        if bound is None or bound.config != self._schedule.config:
+            # Unbound (or differently-bound) log: fall back to scanning the
+            # raw per-delivery mapping, hoisting the publish-time table out
+            # of the per-node loop.
+            publish_times = [
+                descriptor.publish_time for descriptor in self._schedule.packets()
+            ]
         for node_id in self._nodes:
-            node_deliveries = raw.get(node_id, {})
-            lags: List[List[float]] = [[] for _ in range(num_windows)]
-            for packet_id, delivered_at in node_deliveries.items():
-                if packet_id >= len(publish_times):
-                    continue
-                window_index = packet_id // per_window
-                lags[window_index].append(delivered_at - publish_times[packet_id])
-            for window_lags in lags:
-                window_lags.sort()
-            self._window_lags[node_id] = lags
+            window_lags = self._node_window_lags(node_id, publish_times)
+            finite = array("d")
+            inf_count = 0
+            sorted_windows: List[array] = []
+            for lags in window_lags:
+                ordered = array("d", sorted(lags))
+                sorted_windows.append(ordered)
+                if len(ordered) < required:
+                    inf_count += 1
+                else:
+                    finite.append(ordered[required - 1])
+            finite = array("d", sorted(finite))
+            self._window_lags[node_id] = sorted_windows
+            self._critical_finite[node_id] = finite
+            self._critical_inf[node_id] = inf_count
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -109,8 +158,7 @@ class StreamQualityAnalyzer:
             return False
         if math.isinf(lag):
             return True
-        on_time = bisect.bisect_right(lags, lag)
-        return on_time >= required
+        return lags[required - 1] <= lag
 
     def window_critical_lag(self, node_id: NodeId, window_index: int) -> float:
         """Smallest lag at which the window decodes (``inf`` if it never does)."""
@@ -120,16 +168,18 @@ class StreamQualityAnalyzer:
             return math.inf
         return lags[required - 1]
 
+    def _viewable_windows(self, node_id: NodeId, lag: float) -> int:
+        finite = self._critical_finite[node_id]
+        if math.isinf(lag):
+            return len(finite)
+        return bisect.bisect_right(finite, lag)
+
     def node_jitter(self, node_id: NodeId, lag: float) -> float:
         """Fraction of windows ``node_id`` cannot decode at playout lag ``lag``."""
         num_windows = self.num_windows
         if num_windows == 0:
             return 0.0
-        jittered = sum(
-            1
-            for window_index in range(num_windows)
-            if not self.window_viewable(node_id, window_index, lag)
-        )
+        jittered = num_windows - self._viewable_windows(node_id, lag)
         return jittered / num_windows
 
     def node_views_stream(self, node_id: NodeId, lag: float, max_jitter: float = 0.01) -> bool:
@@ -149,13 +199,12 @@ class StreamQualityAnalyzer:
         num_windows = self.num_windows
         if num_windows == 0:
             return 0.0
-        critical_lags = sorted(
-            self.window_critical_lag(node_id, window_index)
-            for window_index in range(num_windows)
-        )
         needed_windows = math.ceil((1.0 - max_jitter) * num_windows)
         needed_windows = min(max(needed_windows, 1), num_windows)
-        return critical_lags[needed_windows - 1]
+        finite = self._critical_finite[node_id]
+        if needed_windows <= len(finite):
+            return finite[needed_windows - 1]
+        return math.inf
 
     # ------------------------------------------------------------------
     # Aggregates over nodes (the paper's figures)
@@ -178,6 +227,20 @@ class StreamQualityAnalyzer:
         )
         return viewing / len(node_list)
 
+    def viewing_ratio_curve(
+        self,
+        lags: Sequence[float],
+        max_jitter: float = 0.01,
+        nodes: Optional[Iterable[NodeId]] = None,
+    ) -> List[Tuple[float, float]]:
+        """``(lag, viewing_ratio)`` for every lag in ``lags``.
+
+        A convenience over per-lag calls; each point costs one bisect per
+        node thanks to the precomputed critical-lag arrays.
+        """
+        node_list = list(nodes) if nodes is not None else self._nodes
+        return [(lag, self.viewing_ratio(lag, max_jitter, node_list)) for lag in lags]
+
     def average_complete_window_ratio(
         self,
         lag: float,
@@ -189,6 +252,15 @@ class StreamQualityAnalyzer:
             return 0.0
         total = sum(self.node_complete_window_ratio(node_id, lag) for node_id in node_list)
         return total / len(node_list)
+
+    def complete_window_curve(
+        self,
+        lags: Sequence[float],
+        nodes: Optional[Iterable[NodeId]] = None,
+    ) -> List[Tuple[float, float]]:
+        """``(lag, average_complete_window_ratio)`` for every lag in ``lags``."""
+        node_list = list(nodes) if nodes is not None else self._nodes
+        return [(lag, self.average_complete_window_ratio(lag, node_list)) for lag in lags]
 
     def critical_lags(self, nodes: Optional[Iterable[NodeId]] = None) -> List[float]:
         """Critical lag of every node (Figure 2's underlying distribution)."""

@@ -24,6 +24,13 @@ Shipped scenarios:
   is itself the comparison's point — match the knobs explicitly (e.g.
   ``run_scenario("eager-push", fanout=7, upload_cap_kbps=700.0)``) to
   watch the baseline collapse under the paper's provisioning.
+* ``large-session`` — the fast-path flagship: 1,000 nodes at the paper's
+  exact stream geometry (600 kbps, 101 + 9 packet windows).  This is the
+  evaluation size of the wider gossip-dissemination literature (epidemic
+  broadcast trees, bandwidth-aware gossip), an order of magnitude past the
+  paper's 230-node PlanetLab deployment.  One session is a few minutes of
+  single-core simulation; ``benchmarks/bench_large_session.py`` runs it
+  with per-stage timings.
 """
 
 from __future__ import annotations
@@ -207,4 +214,29 @@ def eager_push() -> ScenarioSpec:
         protocol="eager-push",
         fanout=5,
         upload_cap_kbps=2000.0,
+    )
+
+
+@register_scenario
+def large_session() -> ScenarioSpec:
+    """The fast-path flagship: 1,000 nodes at the paper's stream geometry.
+
+    Stream ratios are the paper's exact 101 + 9 windows at 600 kbps; only
+    the stream *length* (12 windows ≈ 18 s) is trimmed so one session stays
+    a few minutes of single-core simulation.  Override ``num_nodes`` or the
+    stream to scale further — the spec flows through the same
+    :class:`~repro.scenarios.builder.SessionBuilder` funnel as every other
+    scenario.
+    """
+    return ScenarioSpec(
+        name="large-session",
+        description=(
+            "1,000 nodes streaming the paper's 600 kbps / 101+9-window "
+            "geometry: the literature's evaluation size, served by the "
+            "metrics/codec/event-queue fast path."
+        ),
+        num_nodes=1000,
+        stream=StreamConfig.paper_defaults(num_windows=12),
+        max_backlog_seconds=20.0,
+        extra_time=60.0,
     )

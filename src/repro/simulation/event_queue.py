@@ -9,17 +9,30 @@ Cancellation is *lazy*: cancelling an event marks its handle and the event is
 skipped when it reaches the top of the heap.  This makes cancellation O(1),
 which the gossip protocol relies on (retransmission timers are cancelled for
 every packet that is served in time — the common case).
+
+Lazy cancellation alone, however, lets long sessions drag a heap full of
+dead retransmission timers: every packet served in time leaves a cancelled
+entry buried in the heap until its (far-future) timestamp surfaces, and each
+of those dead entries taxes every subsequent push and pop with extra sift
+work.  The queue therefore keeps a **live counter** — cancelled handles
+report back, making ``len()`` O(1) — and **compacts** the heap (filters the
+dead entries out and re-heapifies) once they outnumber the live ones.
+Compaction never changes pop order: the heap order is the *total* order
+``(time, sequence)``, so rebuilding from any subset pops identically.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.simulation.errors import SimulationTimeError
 
 EventCallback = Callable[..., None]
+
+COMPACTION_MIN_DEAD = 64
+"""Never compact below this many dead entries (tiny heaps aren't worth it)."""
 
 
 @dataclass(slots=True)
@@ -29,10 +42,17 @@ class EventHandle:
     time: float
     sequence: int
     _cancelled: bool = field(default=False, repr=False)
+    _queue: Optional["EventQueue"] = field(default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped by the queue."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -54,18 +74,24 @@ class ScheduledEvent:
 class EventQueue:
     """A deterministic, cancellable min-heap of :class:`ScheduledEvent`."""
 
-    __slots__ = ("_heap", "_sequence")
+    __slots__ = ("_heap", "_sequence", "_dead")
 
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._sequence = 0
+        self._dead = 0  # cancelled entries still buried in the heap
 
     def __len__(self) -> int:
-        """Number of *live* (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.handle.cancelled)
+        """Number of *live* (non-cancelled) events still queued.  O(1)."""
+        return len(self._heap) - self._dead
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
+        return len(self._heap) > self._dead
+
+    @property
+    def dead_entries(self) -> int:
+        """Cancelled entries currently buried in the heap (diagnostics)."""
+        return self._dead
 
     def push(self, time: float, callback: EventCallback, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at simulated ``time``.
@@ -74,7 +100,7 @@ class EventQueue:
         """
         if time < 0.0:
             raise SimulationTimeError(f"cannot schedule event at negative time {time!r}")
-        handle = EventHandle(time=time, sequence=self._sequence)
+        handle = EventHandle(time=time, sequence=self._sequence, _queue=self)
         event = ScheduledEvent(
             time=time,
             sequence=self._sequence,
@@ -98,13 +124,40 @@ class EventQueue:
         self._discard_cancelled()
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)
+        # Detach the handle: a later cancel() of an already-popped (possibly
+        # already-executed) event must not corrupt the dead-entry counter.
+        event.handle._queue = None
+        return event
 
     def _discard_cancelled(self) -> None:
         heap = self._heap
         while heap and heap[0].handle.cancelled:
             heapq.heappop(heap)
+            self._dead -= 1
+
+    def _note_cancelled(self) -> None:
+        """A live handle was cancelled; compact once the dead dominate."""
+        self._dead += 1
+        if self._dead >= COMPACTION_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors.
+
+        Safe at any point: heap order is the total order ``(time,
+        sequence)``, so the rebuilt heap pops in exactly the same order the
+        lazy queue would have.
+        """
+        if self._dead == 0:
+            return
+        self._heap = [event for event in self._heap if not event.handle.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def clear(self) -> None:
         """Drop every queued event (used when tearing an experiment down)."""
+        for event in self._heap:
+            event.handle._queue = None
         self._heap.clear()
+        self._dead = 0

@@ -82,9 +82,7 @@ class ReedSolomonCode:
         self._check_data_shards(data)
         if self.parity_shards == 0:
             return []
-        data_rows = [list(shard) for shard in data]
-        parity_rows = self._cauchy.multiply_vector_rows(data_rows)
-        return [bytes(row) for row in parity_rows]
+        return self._cauchy.multiply_vector_bytes([bytes(shard) for shard in data])
 
     def encode_window(self, data: Sequence[bytes]) -> List[bytes]:
         """Return the full codeword: the data shards followed by parity shards."""
@@ -131,14 +129,13 @@ class ReedSolomonCode:
         # Pick k received shards (prefer data shards — their rows are trivial).
         chosen = sorted(shards)[: self.data_shards]
         generator_rows: List[List[int]] = []
-        received_rows: List[List[int]] = []
+        received_rows: List[bytes] = []
         for index in chosen:
             generator_rows.append(self._generator_row(index))
-            received_rows.append(list(shards[index]))
+            received_rows.append(bytes(shards[index]))
 
         decode_matrix = Matrix(generator_rows).inverted()
-        data_rows = decode_matrix.multiply_vector_rows(received_rows)
-        return [bytes(row) for row in data_rows]
+        return decode_matrix.multiply_vector_bytes(received_rows)
 
     def reconstruct_all(self, shards: Mapping[int, bytes]) -> List[bytes]:
         """Reconstruct the complete codeword (data + parity) from any ``k`` shards."""
@@ -207,6 +204,36 @@ class WindowCodec:
     def loss_tolerance(self) -> int:
         """How many packets of a window can be lost while staying decodable."""
         return self.fec_packets
+
+
+def reference_encode(code: ReedSolomonCode, data: Sequence[bytes]) -> List[bytes]:
+    """The pre-fast-path scalar encode (byte-at-a-time matrix multiply).
+
+    Kept as the baseline the bulk path is pinned against (tests) and
+    measured against (``benchmarks/bench_large_session.py``).  Byte-identical
+    to :meth:`ReedSolomonCode.encode` by construction.
+    """
+    code._check_data_shards(data)
+    if code.parity_shards == 0:
+        return []
+    parity_rows = code._cauchy.multiply_vector_rows([list(shard) for shard in data])
+    return [bytes(row) for row in parity_rows]
+
+
+def reference_decode(code: ReedSolomonCode, shards: Mapping[int, bytes]) -> List[bytes]:
+    """The pre-fast-path scalar decode; see :func:`reference_encode`."""
+    if len(shards) < code.data_shards:
+        raise ValueError(
+            f"need at least {code.data_shards} shards to decode, got {len(shards)}"
+        )
+    if all(index in shards for index in range(code.data_shards)):
+        return [bytes(shards[index]) for index in range(code.data_shards)]
+    chosen = sorted(shards)[: code.data_shards]
+    generator_rows = [code._generator_row(index) for index in chosen]
+    received_rows = [list(shards[index]) for index in chosen]
+    decode_matrix = Matrix(generator_rows).inverted()
+    data_rows = decode_matrix.multiply_vector_rows(received_rows)
+    return [bytes(row) for row in data_rows]
 
 
 def overhead_ratio(source_packets: int, fec_packets: int) -> float:

@@ -36,6 +36,60 @@ def _build_tables() -> tuple[List[int], List[int]]:
 _EXP, _LOG = _build_tables()
 
 
+def _build_mul_tables() -> List[bytes]:
+    """One 256-byte translation table per coefficient: ``table[c][x] = c·x``.
+
+    These are what let the codec process whole shards at C speed:
+    ``data.translate(table[c])`` multiplies every byte of ``data`` by ``c``
+    in one call, instead of a Python-level loop per byte.
+    """
+    exp, log = _EXP, _LOG
+    tables: List[bytes] = [bytes(FIELD_SIZE)]  # c = 0: everything maps to 0
+    for coefficient in range(1, FIELD_SIZE):
+        log_c = log[coefficient]
+        tables.append(
+            bytes([0] + [exp[log_c + log[x]] for x in range(1, FIELD_SIZE)])
+        )
+    return tables
+
+
+_MUL_TABLE = _build_mul_tables()
+
+
+def mul_table(coefficient: int) -> bytes:
+    """The 256-byte ``bytes.translate`` table multiplying by ``coefficient``."""
+    return _MUL_TABLE[coefficient]
+
+
+def scale_bytes(coefficient: int, data: bytes | bytearray) -> bytes:
+    """Multiply every byte of ``data`` by ``coefficient`` (bulk vector scaling)."""
+    if coefficient == 1:
+        return bytes(data)
+    return bytes(data).translate(_MUL_TABLE[coefficient])
+
+
+def xor_bytes(a: bytes | bytearray, b: bytes | bytearray) -> bytes:
+    """Element-wise XOR of two equal-length byte strings (bulk field addition)."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    length = len(a)
+    return (
+        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
+    ).to_bytes(length, "little")
+
+
+def addmul_bytes(target: bytearray, coefficient: int, row: bytes | bytearray) -> None:
+    """In-place ``target ^= coefficient * row`` on whole shards (bulk MAC)."""
+    if len(target) != len(row):
+        raise ValueError(f"length mismatch: {len(target)} vs {len(row)}")
+    if coefficient == 0:
+        return
+    scaled = bytes(row) if coefficient == 1 else bytes(row).translate(_MUL_TABLE[coefficient])
+    target[:] = (
+        int.from_bytes(target, "little") ^ int.from_bytes(scaled, "little")
+    ).to_bytes(len(target), "little")
+
+
 def add(a: int, b: int) -> int:
     """Field addition (XOR); identical to subtraction in GF(2^8)."""
     return a ^ b
@@ -114,7 +168,11 @@ class Matrix:
 
     Rows are lists of ints in [0, 255].  The class supports multiplication
     and Gauss–Jordan inversion, which is what encoding and erasure decoding
-    need.
+    need.  Shard-length multiplications have two implementations:
+    :meth:`multiply_vector_bytes` (the fast path — per-coefficient
+    ``bytes.translate`` tables and big-int XOR accumulation, used by the
+    codec) and :meth:`multiply_vector_rows` (the scalar byte-at-a-time
+    reference the fast path is pinned against).
     """
 
     def __init__(self, rows: Sequence[Sequence[int]]) -> None:
@@ -170,6 +228,37 @@ class Matrix:
             for coefficient, data_row in zip(matrix_row, data_rows):
                 multiply_accumulate(accumulator, coefficient, data_row)
             result.append(accumulator)
+        return result
+
+    def multiply_vector_bytes(self, data_rows: Sequence[bytes]) -> List[bytes]:
+        """Bulk version of :meth:`multiply_vector_rows` over whole shards.
+
+        Each input row is scaled through its coefficient's 256-byte
+        translation table and XOR-accumulated as one big integer, so the
+        per-byte work happens in C.  Produces byte-identical results to the
+        scalar path (pinned by the property tests).
+        """
+        if len(data_rows) != self.num_cols:
+            raise ValueError(
+                f"need {self.num_cols} data rows, got {len(data_rows)}"
+            )
+        if not data_rows:
+            return []
+        length = len(data_rows[0])
+        for row in data_rows:
+            if len(row) != length:
+                raise ValueError("all data rows must have the same length")
+        shards = [bytes(row) for row in data_rows]
+        tables = _MUL_TABLE
+        result: List[bytes] = []
+        for matrix_row in self.rows:
+            accumulator = 0
+            for coefficient, shard in zip(matrix_row, shards):
+                if coefficient == 0:
+                    continue
+                scaled = shard if coefficient == 1 else shard.translate(tables[coefficient])
+                accumulator ^= int.from_bytes(scaled, "little")
+            result.append(accumulator.to_bytes(length, "little"))
         return result
 
     def inverted(self) -> "Matrix":

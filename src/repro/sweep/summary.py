@@ -199,16 +199,18 @@ def summarize(
     This is the worker-side boundary of the parallel executor: everything
     after this call is small and picklable.
     """
+    quality = result.quality()
     viewing = tuple(
-        (lag, result.viewing_percentage(lag=lag)) for lag in request.viewing_lags
+        (lag, ratio * 100.0)
+        for lag, ratio in quality.viewing_ratio_curve(request.viewing_lags)
     )
     complete = tuple(
-        (lag, result.average_complete_windows_percentage(lag))
-        for lag in request.window_lags
+        (lag, ratio * 100.0)
+        for lag, ratio in quality.complete_window_curve(request.window_lags)
     )
     lag_cdf: LagValues = ()
     if request.lag_cdf_grid:
-        fractions = result.quality().lag_cdf(request.lag_cdf_grid)
+        fractions = quality.lag_cdf(request.lag_cdf_grid)
         lag_cdf = tuple(zip(request.lag_cdf_grid, fractions))
     usage: Tuple[float, ...] = ()
     if request.include_usage:

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.experiments.scale import PAPER, REDUCED, SMOKE, ExperimentScale, available_scales, scale_by_name
+from repro.experiments.scale import (
+    PAPER,
+    REDUCED,
+    SMOKE,
+    XLARGE,
+    ExperimentScale,
+    available_scales,
+    scale_by_name,
+)
 from repro.membership.partners import INFINITE
 
 
@@ -11,13 +19,14 @@ class TestPresets:
         assert scale_by_name("smoke") is SMOKE
         assert scale_by_name("reduced") is REDUCED
         assert scale_by_name("paper") is PAPER
+        assert scale_by_name("xlarge") is XLARGE
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError):
             scale_by_name("galactic")
 
     def test_available_scales(self):
-        assert available_scales() == ["paper", "reduced", "smoke"]
+        assert available_scales() == ["paper", "reduced", "smoke", "xlarge"]
 
     def test_paper_scale_matches_paper_constants(self):
         stream = PAPER.stream_config()
@@ -33,8 +42,28 @@ class TestPresets:
         assert SMOKE.stream_duration < REDUCED.stream_duration
 
     def test_fanout_grids_fit_system_size(self):
-        for scale in (SMOKE, REDUCED, PAPER):
+        for scale in (SMOKE, REDUCED, PAPER, XLARGE):
             assert max(scale.fanout_grid) < scale.num_nodes
+
+    def test_xlarge_scale_keeps_paper_stream_geometry(self):
+        stream = XLARGE.stream_config()
+        assert XLARGE.num_nodes == 1000
+        assert stream.rate_kbps == 600.0
+        assert stream.source_packets_per_window == 101
+        assert stream.fec_packets_per_window == 9
+        assert XLARGE.optimal_fanout in XLARGE.fanout_grid
+
+    def test_only_smoke_lacks_the_collapse_regime(self):
+        assert not SMOKE.fanout_collapse_expected
+        for scale in (REDUCED, PAPER, XLARGE):
+            assert scale.fanout_collapse_expected
+
+    def test_xlarge_session_config_composes_through_the_builder(self):
+        config = XLARGE.session_config(fanout=10, cap_kbps=1000.0)
+        assert config.num_nodes == 1000
+        assert config.gossip.fanout == 10
+        assert config.network.upload_cap_kbps == pytest.approx(1000.0)
+        assert config.stream.packets_per_window == 110
 
 
 class TestBuilders:

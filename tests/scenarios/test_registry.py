@@ -21,6 +21,7 @@ EXPECTED_SCENARIOS = (
     "flash-crowd",
     "lossy-wan",
     "eager-push",
+    "large-session",
 )
 
 
@@ -116,3 +117,14 @@ class TestScenarioSemantics:
         stats = result.node_stats.values()
         assert sum(s.requests_sent for s in stats) == 0
         assert sum(s.serves_sent for s in stats) > 0
+
+    def test_large_session_scenario_has_paper_stream_geometry(self):
+        spec = build_scenario("large-session")
+        assert spec.num_nodes == 1000
+        assert spec.stream.source_packets_per_window == 101
+        assert spec.stream.fec_packets_per_window == 9
+        assert spec.stream.rate_kbps == 600.0
+        # Scaled-down runs keep the window geometry (the end-to-end
+        # parametrized test above runs it at 18 nodes).
+        small = build_scenario("large-session", num_nodes=24)
+        assert small.stream.packets_per_window == 110

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simulation.errors import SimulationTimeError
-from repro.simulation.event_queue import EventQueue
+from repro.simulation.event_queue import COMPACTION_MIN_DEAD, EventQueue
 
 
 class TestEventQueue:
@@ -79,3 +79,86 @@ class TestEventQueue:
         queue.clear()
         assert len(queue) == 0
         assert queue.pop() is None
+
+
+class TestLiveCounterAndCompaction:
+    def test_len_is_constant_time_counter(self):
+        """__len__ must not scan the heap: it reads a maintained counter."""
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(10)]
+        assert len(queue) == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        # The counter and the ground truth (scan) must agree at every step.
+        live_scan = sum(1 for event in queue._heap if not event.handle.cancelled)
+        assert len(queue) == live_scan == 6
+
+    def test_cancel_after_pop_does_not_corrupt_counter(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped.handle is first
+        first.cancel()  # already executed: must not decrement the live count
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert queue.pop() is None
+
+    def test_cancelled_pop_path_keeps_counter_consistent(self):
+        queue = EventQueue()
+        doomed = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        doomed.cancel()
+        assert len(queue) == 1
+        assert queue.peek_time() == 2.0  # discards the cancelled head
+        assert len(queue) == 1
+        doomed.cancel()  # double-cancel after discard: still harmless
+        assert len(queue) == 1
+
+    def test_threshold_compaction_bounds_dead_entries(self):
+        queue = EventQueue()
+        # Far-future events that will be cancelled (dead timers) plus a few
+        # live ones.  Without compaction the heap would retain every one of
+        # the dead entries until its timestamp surfaced; with it, the dead
+        # never outnumber max(threshold, live events).
+        doomed = [queue.push(1000.0 + i, lambda: None) for i in range(10 * COMPACTION_MIN_DEAD)]
+        live = [queue.push(float(i), lambda: None) for i in range(5)]
+        for handle in doomed:
+            handle.cancel()
+            assert queue.dead_entries <= max(COMPACTION_MIN_DEAD, len(queue))
+        assert len(queue) == len(live)
+        assert len(queue._heap) <= COMPACTION_MIN_DEAD + len(live)
+        # An explicit compact always finishes the job.
+        queue.compact()
+        assert len(queue._heap) == len(live)
+        assert queue.dead_entries == 0
+
+    def test_compaction_preserves_pop_order(self):
+        import random
+
+        rng = random.Random(5)
+        queue = EventQueue()
+        handles = []
+        for _ in range(3 * COMPACTION_MIN_DEAD):
+            handles.append(queue.push(rng.uniform(0.0, 100.0), lambda: None))
+        expected = sorted(
+            ((h.time, h.sequence) for h in handles if h.sequence % 3 == 0),
+        )
+        for handle in handles:
+            if handle.sequence % 3 != 0:  # cancel 2/3: triggers compaction
+                handle.cancel()
+        popped = []
+        while queue:
+            event = queue.pop()
+            popped.append((event.time, event.sequence))
+        assert popped == expected
+
+    def test_explicit_compact_is_idempotent(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        drop = queue.push(2.0, lambda: None)
+        drop.cancel()
+        queue.compact()
+        queue.compact()
+        assert len(queue) == 1
+        assert queue._heap[0].handle is keep
