@@ -26,7 +26,7 @@ called by the :class:`repro.streaming.StreamEmitter` for every packet, as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.membership.directory import MembershipDirectory
 from repro.membership.partners import INFINITE, PartnerSelector
@@ -125,6 +125,7 @@ class GossipNode:
         self.state = NodeState()
         self.stats = NodeStats()
         self._alive = True
+        self._observers: Optional[List[Any]] = None
 
         if protocol is None:
             from repro.protocols.three_phase import ThreePhaseGossip
@@ -275,10 +276,32 @@ class GossipNode:
     # ------------------------------------------------------------------
     # Services offered to the protocol strategy
     # ------------------------------------------------------------------
+    def add_observer(self, observer: Any) -> None:
+        """Register a delivery observer.
+
+        ``observer.on_packet_delivered(node_id, packet_id, time, is_source)``
+        fires on every *first-time* delivery, before the delivery listener
+        (see :class:`repro.validation.observers.DeliveryObserver`).  With no
+        observers the delivery path pays one ``is None`` test.
+        """
+        if self._observers is None:
+            self._observers = []
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        """Unregister a delivery observer (restores the zero-cost path)."""
+        if self._observers is not None:
+            self._observers.remove(observer)
+            if not self._observers:
+                self._observers = None
+
     def deliver(self, packet_id: PacketId, time: float) -> None:
         """Record a first-time delivery and notify the delivery listener."""
         if not self.state.deliver(packet_id, time):
             return
+        if self._observers is not None:
+            for observer in self._observers:
+                observer.on_packet_delivered(self.node_id, packet_id, time, self.is_source)
         if self._delivery_listener is not None:
             self._delivery_listener(self.node_id, packet_id, time)
 

@@ -12,12 +12,22 @@ through four stages, mirroring the paper's deployment:
 
 There is no acknowledgement or retransmission at this layer; reliability is
 the gossip protocol's job (request retries, FEC).
+
+Observers
+---------
+Every fate a datagram can meet is exposed as an observer edge
+(:meth:`Network.add_observer`): accepted by the upload limiter, dropped by
+congestion, lost in flight, delivered to a live handler, or dropped at a
+dead/unregistered receiver — plus node failure/recovery transitions.  The
+validation layer (:mod:`repro.validation`) registers invariant checkers on
+these edges; with no observers registered each send pays one ``is None``
+test, keeping the hot path at its pre-observer cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RngRegistry
@@ -129,6 +139,7 @@ class Network:
         self._loss = loss_model if loss_model is not None else NoLoss()
         self._endpoints: Dict[NodeId, _Endpoint] = {}
         self.stats = stats if stats is not None else TrafficStats()
+        self._observers: Optional[List[Any]] = None
 
     # ------------------------------------------------------------------
     # Registration and liveness
@@ -159,12 +170,38 @@ class Network:
         endpoint = self._endpoints.get(node_id)
         if endpoint is not None:
             endpoint.alive = False
+            if self._observers is not None:
+                now = self._simulator.now
+                for observer in self._observers:
+                    observer.on_node_failed(node_id, now)
 
     def recover_node(self, node_id: NodeId) -> None:
         """Bring a previously failed node back (its state is untouched)."""
         endpoint = self._endpoints.get(node_id)
         if endpoint is not None:
             endpoint.alive = True
+            if self._observers is not None:
+                now = self._simulator.now
+                for observer in self._observers:
+                    observer.on_node_recovered(node_id, now)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: Any) -> None:
+        """Register a transport observer (see
+        :class:`repro.validation.observers.TransportObserver` for the edge
+        methods and their exact firing points)."""
+        if self._observers is None:
+            self._observers = []
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        """Unregister a transport observer (restores the zero-cost path)."""
+        if self._observers is not None:
+            self._observers.remove(observer)
+            if not self._observers:
+                self._observers = None
 
     def limiter(self, node_id: NodeId) -> UploadLimiter:
         """The upload limiter of ``node_id`` (for inspection in experiments)."""
@@ -193,16 +230,28 @@ class Network:
         sender = message.sender
         endpoint = self._endpoints.get(sender)
         if endpoint is None or not endpoint.alive:
+            if self._observers is not None:
+                for observer in self._observers:
+                    observer.on_send_blocked(message, self._simulator.now)
             return False
         now = self._simulator.now
         finish_time = endpoint.limiter.enqueue(message.size_bytes, now)
         if finish_time is None:
             self.stats.record_congestion_drop(sender, message.kind, message.size_bytes)
+            if self._observers is not None:
+                for observer in self._observers:
+                    observer.on_congestion_drop(message, now)
             return False
         self.stats.record_sent(sender, message.kind, message.size_bytes)
+        if self._observers is not None:
+            for observer in self._observers:
+                observer.on_send_accepted(message, now, finish_time)
 
         if self._loss.is_lost(message):
             self.stats.record_in_flight_loss(sender, message.kind, message.size_bytes)
+            if self._observers is not None:
+                for observer in self._observers:
+                    observer.on_in_flight_loss(message, now)
             return True
 
         delay = (finish_time - now) + self._latency.sample(sender, message.receiver)
@@ -213,6 +262,15 @@ class Network:
         receiver = message.receiver
         endpoint = self._endpoints.get(receiver)
         if endpoint is None or not endpoint.alive:
+            if self._observers is not None:
+                for observer in self._observers:
+                    observer.on_delivery_dropped(message, self._simulator.now)
             return
         self.stats.record_received(receiver, message.kind, message.size_bytes)
+        if self._observers is not None:
+            # Observers fire before the handler: anything the handler sends
+            # in reaction (e.g. a SERVE answering this REQUEST) must observe
+            # the delivery that caused it as already having happened.
+            for observer in self._observers:
+                observer.on_delivered(message, self._simulator.now)
         endpoint.handler(message)

@@ -10,11 +10,21 @@ hold a reference to the simulator and interact with it through three verbs:
 * ``now`` — the current simulated time.
 
 Running the simulation is ``run(until=...)`` or ``run_until_idle()``.
+
+Observers
+---------
+The engine exposes its event-dispatch edge to registered observers
+(:meth:`Simulator.add_observer`): immediately before a popped event's
+callback runs, every observer's ``on_event_dispatch(time, callback, args)``
+is invoked.  The validation layer (:mod:`repro.validation`) uses this to
+check invariants such as event-time monotonicity on *every* run.  With no
+observers registered the dispatch loop pays a single ``is None`` test per
+event — measured in ``benchmarks/bench_observer_overhead.py``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation.timers import PeriodicTimer
@@ -43,6 +53,9 @@ class Simulator:
         self._rng = RngRegistry(seed)
         self._running = False
         self._events_processed = 0
+        # ``None`` (not an empty list) when nobody watches: the dispatch hot
+        # path then pays exactly one attribute load + identity test per event.
+        self._observers: Optional[List[Any]] = None
 
     # ------------------------------------------------------------------
     # Time and randomness
@@ -94,6 +107,28 @@ class Simulator:
             handle.cancel()
 
     # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: Any) -> None:
+        """Register a dispatch observer.
+
+        ``observer.on_event_dispatch(time, callback, args)`` is called right
+        before each event's callback executes (the clock already shows the
+        event's time and ``events_processed`` already counts it).  See
+        :class:`repro.validation.observers.SimulationObserver`.
+        """
+        if self._observers is None:
+            self._observers = []
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        """Unregister a dispatch observer (restores the zero-cost path)."""
+        if self._observers is not None:
+            self._observers.remove(observer)
+            if not self._observers:
+                self._observers = None
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -103,6 +138,9 @@ class Simulator:
             return False
         self._clock.advance_to(event.time)
         self._events_processed += 1
+        if self._observers is not None:
+            for observer in self._observers:
+                observer.on_event_dispatch(event.time, event.callback, event.args)
         event.callback(*event.args)
         return True
 

@@ -89,6 +89,7 @@ class ResultStore:
         self._records: Dict[RecordKey, PointSummary] = {}
         self._skipped_lines = 0
         self._loaded = False
+        self._tail_is_clean = False
 
     # ------------------------------------------------------------------
     # Loading
@@ -168,8 +169,31 @@ class ResultStore:
             "summary": summary.to_json_dict(),
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        prefix = "\n" if self._tail_needs_newline() else ""
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.write(prefix + json.dumps(record, separators=(",", ":")) + "\n")
             handle.flush()
+        self._tail_is_clean = True
         if self._loaded:
             self._records[(cell_id, seed, fingerprint)] = summary
+
+    def _tail_needs_newline(self) -> bool:
+        """Whether the file ends in a torn (newline-less) line.
+
+        A writer killed mid-``append`` leaves a truncated trailing line;
+        gluing the next record onto it would corrupt *both* records, so the
+        torn line is terminated first (``load`` then skips it as one corrupt
+        line instead of two).  Checked once per store instance — after our
+        own first append the tail is known clean, keeping appends O(1).
+        """
+        if self._tail_is_clean:
+            return False
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(0, 2)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, 2)
+                return handle.read(1) != b"\n"
+        except FileNotFoundError:
+            return False

@@ -1,0 +1,126 @@
+"""Command-line entry point for the validation subsystem.
+
+Fuzz (exit code 1 if any case violates an invariant)::
+
+    python -m repro.validation --fuzz 100 --seed 7 --jobs 4 \
+        --bundle-dir results/fuzz
+
+Replay a repro bundle (exit code 0 only on an exact reproduction)::
+
+    python -m repro.validation --replay results/fuzz/fuzz-7-42.json
+
+List the armed invariants::
+
+    python -m repro.validation --list-invariants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.validation.fuzzer import ScenarioFuzzer, replay_bundle
+from repro.validation.invariants import DEFAULT_INVARIANTS
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validation",
+        description="Invariant-armed scenario fuzzing and repro-bundle replay.",
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        metavar="N",
+        help="run N seeded random scenarios with all invariants armed",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="campaign seed; case i is a pure function of (S, i) (default: 0)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="J",
+        help="worker processes to fan fuzz cases across (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=40,
+        metavar="M",
+        help="upper bound on derived system sizes (default: 40)",
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        help="write a replayable repro bundle per failing case into DIR",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="BUNDLE",
+        help="re-run a repro bundle and compare against its frozen failure",
+    )
+    parser.add_argument(
+        "--list-invariants",
+        action="store_true",
+        help="print the shipped invariant checkers and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_invariants:
+        for factory in DEFAULT_INVARIANTS:
+            doc = (factory.__doc__ or "").strip().splitlines()[0]
+            print(f"{factory.name:28s} {doc}")
+        return 0
+
+    if args.replay is not None:
+        report = replay_bundle(args.replay)
+        print(report.describe())
+        if report.reproduced and report.message:
+            print(f"  {report.message}")
+        return 0 if (report.reproduced and report.matched) else 1
+
+    if args.fuzz is None:
+        parser.error("one of --fuzz, --replay or --list-invariants is required")
+
+    fuzzer = ScenarioFuzzer(args.seed, max_nodes=args.max_nodes)
+    failures = 0
+    started = time.perf_counter()
+
+    def progress(outcome) -> None:
+        nonlocal failures
+        if outcome.ok:
+            print(f"  {outcome.case_id}: ok ({outcome.events_processed:,} events)")
+        else:
+            failures += 1
+            print(f"  {outcome.case_id}: VIOLATION {outcome.message}")
+
+    print(
+        f"fuzzing {args.fuzz} scenarios (campaign seed {args.seed}, "
+        f"jobs {args.jobs}, invariants: "
+        f"{', '.join(factory.name for factory in DEFAULT_INVARIANTS)})"
+    )
+    outcomes = fuzzer.run_campaign(
+        args.fuzz, jobs=args.jobs, bundle_dir=args.bundle_dir, progress=progress
+    )
+    elapsed = time.perf_counter() - started
+    total_events = sum(outcome.events_processed for outcome in outcomes)
+    print(
+        f"{len(outcomes)} cases, {failures} violation(s), "
+        f"{total_events:,} simulated events in {elapsed:.1f}s"
+    )
+    if failures and args.bundle_dir:
+        print(f"repro bundles written to {args.bundle_dir}")
+        print("replay with: python -m repro.validation --replay <bundle.json>")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

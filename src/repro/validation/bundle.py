@@ -1,0 +1,176 @@
+"""Replayable repro bundles: a fuzzer failure as one self-contained JSON file.
+
+A bundle freezes everything needed to re-run a failing fuzz case
+deterministically: the campaign seed and case index it came from, the fully
+serialized :class:`~repro.scenarios.spec.ScenarioSpec` (so the failure
+replays even if the fuzzer's derivation ranges change later), the failing
+invariant's name, the event index at which it fired, and the code
+fingerprint of the tree that produced it (replays under different code are
+reported, not trusted).
+
+Spec serialization here is deliberately explicit rather than generic
+pickling: bundles are meant to be read by humans, attached to bug reports,
+and uploaded as CI artifacts, so every field is plain JSON.  Only the
+schedule types the fuzzer generates (catastrophic/staggered churn, flash
+crowd joins) are supported; serializing a spec holding an exotic schedule
+raises instead of silently dropping the perturbation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.membership.churn import CatastrophicChurn, ChurnSchedule, StaggeredChurn
+from repro.membership.join import FlashCrowdJoin, JoinSchedule
+from repro.scenarios.spec import BandwidthClass, ScenarioSpec
+from repro.streaming.schedule import StreamConfig
+
+BUNDLE_FORMAT = "repro.validation.bundle/v1"
+
+
+# ----------------------------------------------------------------------
+# Spec <-> JSON
+# ----------------------------------------------------------------------
+def _churn_to_dict(schedule: Optional[ChurnSchedule]) -> Optional[Dict[str, Any]]:
+    if schedule is None:
+        return None
+    if isinstance(schedule, CatastrophicChurn):
+        return {"type": "catastrophic", "time": schedule.time, "fraction": schedule.fraction}
+    if isinstance(schedule, StaggeredChurn):
+        return {
+            "type": "staggered",
+            "start": schedule.start,
+            "fraction": schedule.fraction,
+            "batches": schedule.batches,
+            "interval": schedule.interval,
+        }
+    raise ValueError(f"cannot serialize churn schedule {type(schedule).__name__}")
+
+
+def _churn_from_dict(data: Optional[Dict[str, Any]]) -> Optional[ChurnSchedule]:
+    if data is None:
+        return None
+    kind = data["type"]
+    if kind == "catastrophic":
+        return CatastrophicChurn(time=data["time"], fraction=data["fraction"])
+    if kind == "staggered":
+        return StaggeredChurn(
+            start=data["start"],
+            fraction=data["fraction"],
+            batches=data["batches"],
+            interval=data["interval"],
+        )
+    raise ValueError(f"unknown churn schedule type {kind!r}")
+
+
+def _join_to_dict(schedule: Optional[JoinSchedule]) -> Optional[Dict[str, Any]]:
+    if schedule is None:
+        return None
+    if isinstance(schedule, FlashCrowdJoin):
+        return {"type": "flash-crowd", "time": schedule.time, "fraction": schedule.fraction}
+    raise ValueError(f"cannot serialize join schedule {type(schedule).__name__}")
+
+
+def _join_from_dict(data: Optional[Dict[str, Any]]) -> Optional[JoinSchedule]:
+    if data is None:
+        return None
+    kind = data["type"]
+    if kind == "flash-crowd":
+        return FlashCrowdJoin(time=data["time"], fraction=data["fraction"])
+    raise ValueError(f"unknown join schedule type {kind!r}")
+
+
+def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """A plain-JSON dictionary capturing every field of the spec."""
+    data = asdict(spec)
+    data["stream"] = asdict(spec.stream)
+    data["bandwidth_classes"] = [asdict(cls) for cls in spec.bandwidth_classes]
+    data["churn"] = _churn_to_dict(spec.churn)
+    data["join"] = _join_to_dict(spec.join)
+    # JSON has no inf; feed_me_every may be the INFINITE sentinel.
+    if data["feed_me_every"] == float("inf"):
+        data["feed_me_every"] = "inf"
+    return data
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from :func:`spec_to_dict` output."""
+    fields = dict(data)
+    fields["stream"] = StreamConfig(**fields["stream"])
+    fields["bandwidth_classes"] = tuple(
+        BandwidthClass(**cls) for cls in fields.get("bandwidth_classes", ())
+    )
+    fields["churn"] = _churn_from_dict(fields.get("churn"))
+    fields["join"] = _join_from_dict(fields.get("join"))
+    if fields.get("feed_me_every") == "inf":
+        fields["feed_me_every"] = float("inf")
+    return ScenarioSpec(**fields)
+
+
+# ----------------------------------------------------------------------
+# The bundle
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReproBundle:
+    """One failing fuzz case, frozen for deterministic replay."""
+
+    campaign_seed: int
+    case_index: int
+    spec: ScenarioSpec
+    invariant: str
+    event_index: int
+    message: str
+    code_fingerprint: str = ""
+    format: str = field(default=BUNDLE_FORMAT)
+
+    @property
+    def case_id(self) -> str:
+        """Stable identifier of the originating fuzz case."""
+        return f"fuzz-{self.campaign_seed}-{self.case_index}"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "format": self.format,
+            "campaign_seed": self.campaign_seed,
+            "case_index": self.case_index,
+            "spec": spec_to_dict(self.spec),
+            "invariant": self.invariant,
+            "event_index": self.event_index,
+            "message": self.message,
+            "code_fingerprint": self.code_fingerprint,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "ReproBundle":
+        fmt = data.get("format", "")
+        if fmt != BUNDLE_FORMAT:
+            raise ValueError(
+                f"not a repro bundle (format {fmt!r}, expected {BUNDLE_FORMAT!r})"
+            )
+        return cls(
+            campaign_seed=int(data["campaign_seed"]),
+            case_index=int(data["case_index"]),
+            spec=spec_from_dict(data["spec"]),
+            invariant=str(data["invariant"]),
+            event_index=int(data["event_index"]),
+            message=str(data["message"]),
+            code_fingerprint=str(data.get("code_fingerprint", "")),
+        )
+
+    def write(self, path) -> Path:
+        """Serialize to ``path`` (parents created), returning the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path) -> "ReproBundle":
+        """Read a bundle previously written with :meth:`write`."""
+        return cls.from_json_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -97,6 +97,79 @@ class TestCrashSafety:
         assert len(store) == 0
         assert store.skipped_lines == 2
 
+    def test_reappend_after_torn_write_round_trips(self, tmp_path):
+        """Regression: a record appended after a torn line must not be glued
+        onto the torn fragment (which would corrupt *both* records)."""
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append("cell-a", 42, "fp", _summary("cell-a", 42))
+        store.append("cell-b", 43, "fp", _summary("cell-b", 43))
+        # A writer killed mid-append leaves a newline-less truncated tail.
+        content = path.read_text(encoding="utf-8")
+        torn = content[: -len(content.splitlines()[-1]) // 2 - 1]
+        assert not torn.endswith("\n")
+        path.write_text(torn, encoding="utf-8")
+
+        # A fresh store (a restarted process) appends the lost point again.
+        fresh = ResultStore(path)
+        fresh.append("cell-b", 43, "fp", _summary("cell-b", 43))
+
+        reloaded = ResultStore(path)
+        reloaded.load()
+        assert reloaded.get("cell-a", 42, "fp") is not None
+        assert reloaded.get("cell-b", 43, "fp") is not None
+        assert reloaded.skipped_lines == 1  # the torn fragment, nothing else
+
+    def test_append_to_clean_file_adds_no_blank_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        ResultStore(path).append("cell-a", 42, "fp", _summary("cell-a", 42))
+        ResultStore(path).append("cell-b", 43, "fp", _summary("cell-b", 43))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert all(line.strip() for line in lines)
+
+    def test_corrupt_lines_do_not_poison_resume(self, sweep_scale, tmp_path):
+        """A store whose file holds torn/foreign lines still resumes: intact
+        records are reused, the corrupted point is simply re-run."""
+        from repro.sweep.executor import SerialExecutor, run_sweep
+        from repro.sweep.spec import SweepGrid, SweepSpec
+        from repro.sweep.store import run_fingerprint
+
+        path = tmp_path / "sweep.jsonl"
+        tasks = SweepSpec(
+            name="resume-sweep",
+            scale_name=sweep_scale.name,
+            grid=SweepGrid(fanouts=(2, 4)),
+        ).expand()
+        run_sweep(sweep_scale, tasks, executor=SerialExecutor(), store=ResultStore(path))
+
+        # Corrupt the *last* record (torn write) and prepend a foreign line.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        path.write_text("not json\n" + "\n".join(lines), encoding="utf-8")
+
+        store = ResultStore(path)
+        resumed = run_sweep(
+            sweep_scale, tasks, executor=SerialExecutor(), store=store, resume=True
+        )
+        assert store.skipped_lines == 2  # foreign + torn
+        assert resumed.reused == len(tasks) - 1
+        assert resumed.executed == 1
+        # The re-run point was re-appended; a second resume reuses everything.
+        second = run_sweep(
+            sweep_scale,
+            tasks,
+            executor=SerialExecutor(),
+            store=ResultStore(path),
+            resume=True,
+        )
+        assert second.reused == len(tasks)
+        assert second.executed == 0
+        fingerprint = run_fingerprint(sweep_scale)
+        for task in tasks:
+            seed = sweep_scale.seed + task.point.seed_offset
+            assert ResultStore(path).get(task.cell_id, seed, fingerprint) is not None
+
     def test_records_are_one_json_object_per_line(self, tmp_path):
         path = tmp_path / "store.jsonl"
         store = ResultStore(path)

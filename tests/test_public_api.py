@@ -47,3 +47,14 @@ class TestPublicApi:
             assert hasattr(sweep, name), f"repro.sweep.__all__ lists {name} but it is missing"
         assert callable(sweep.run_sweep)
         assert callable(sweep.ParallelExecutor)
+
+    def test_validation_package_importable(self):
+        from repro import validation
+
+        for name in validation.__all__:
+            assert hasattr(
+                validation, name
+            ), f"repro.validation.__all__ lists {name} but it is missing"
+        assert callable(validation.validate_session)
+        assert callable(validation.ScenarioFuzzer)
+        assert callable(validation.replay_bundle)

@@ -1,0 +1,168 @@
+"""The scenario fuzzer: deterministic derivation, campaigns, replayable bundles."""
+
+import pytest
+
+from repro.network.bandwidth import UploadLimiter
+from repro.validation import ScenarioFuzzer, replay_bundle, spec_to_dict
+from repro.validation.__main__ import main as validation_main
+
+
+def _cap_bypass(monkeypatch):
+    """The acceptance fault: serialization delay silently skipped."""
+    original = UploadLimiter.enqueue
+
+    def cheating(self, size_bytes, now):
+        return now if original(self, size_bytes, now) is not None else None
+
+    monkeypatch.setattr(UploadLimiter, "enqueue", cheating)
+
+
+def _capped_three_phase_index(fuzzer):
+    """First case index whose spec has a finite cap and the paper protocol."""
+    for index in range(50):
+        spec = fuzzer.derive_case(index).spec
+        if spec.upload_cap_kbps is not None and spec.protocol == "three-phase":
+            return index
+    raise AssertionError("no capped three-phase case in the first 50")
+
+
+class TestCaseDerivation:
+    def test_same_coordinates_same_spec(self):
+        a = ScenarioFuzzer(7).derive_case(3).spec
+        b = ScenarioFuzzer(7).derive_case(3).spec
+        assert spec_to_dict(a) == spec_to_dict(b)
+
+    def test_different_indices_differ(self):
+        fuzzer = ScenarioFuzzer(7)
+        dicts = [spec_to_dict(fuzzer.derive_case(i).spec) for i in range(8)]
+        assert len({str(sorted(d.items())) for d in dicts}) == 8
+
+    def test_specs_stay_in_paper_plausible_ranges(self):
+        fuzzer = ScenarioFuzzer(7, max_nodes=30)
+        for index in range(30):
+            spec = fuzzer.derive_case(index).spec
+            assert 15 <= spec.num_nodes <= 30
+            assert 3 <= spec.fanout <= 10
+            assert spec.upload_cap_kbps in (500.0, 700.0, 1000.0, 2000.0, None)
+            assert spec.random_loss in (0.0, 0.01, 0.05)
+            assert spec.protocol in ("three-phase", "eager-push")
+            # Perturbations always land mid-stream (spec validation enforces
+            # the hard bound; this pins the intent).
+            if spec.churn is not None:
+                assert 0.0 < spec.churn.time < spec.stream.duration
+            if spec.join is not None:
+                assert 0.0 < spec.join.time < spec.stream.duration
+
+    def test_perturbation_variety_appears(self):
+        fuzzer = ScenarioFuzzer(7)
+        specs = [fuzzer.derive_case(i).spec for i in range(30)]
+        assert any(spec.churn is not None for spec in specs)
+        assert any(spec.join is not None for spec in specs)
+        assert any(spec.protocol == "eager-push" for spec in specs)
+
+
+class TestCampaigns:
+    def test_clean_code_passes_and_outcomes_are_ordered(self):
+        outcomes = ScenarioFuzzer(7, max_nodes=20).run_campaign(3)
+        assert [outcome.index for outcome in outcomes] == [0, 1, 2]
+        assert all(outcome.ok for outcome in outcomes)
+        assert all(outcome.events_processed > 0 for outcome in outcomes)
+
+    def test_parallel_campaign_is_bit_identical_to_serial(self):
+        fuzzer = ScenarioFuzzer(13, max_nodes=20)
+        serial = fuzzer.run_campaign(4, jobs=1)
+        parallel = fuzzer.run_campaign(4, jobs=2)
+        assert serial == parallel
+
+
+class TestReproBundles:
+    def test_injected_fault_bundles_and_replays_to_same_coordinates(
+        self, monkeypatch, tmp_path
+    ):
+        """Acceptance criterion: fault → violation → bundle → exact replay."""
+        _cap_bypass(monkeypatch)
+        fuzzer = ScenarioFuzzer(11, max_nodes=25)
+        index = _capped_three_phase_index(fuzzer)
+        outcome = fuzzer.run_case(index)
+        assert not outcome.ok
+        assert outcome.invariant == "bandwidth-cap"
+        assert outcome.event_index >= 0
+
+        path = fuzzer.write_bundle(outcome, tmp_path)
+        report = replay_bundle(path)
+        assert report.reproduced
+        assert report.matched
+        assert report.invariant == outcome.invariant
+        assert report.event_index == outcome.event_index
+        assert report.fingerprint_matched
+
+    def test_campaign_writes_bundles_for_failures_only(self, monkeypatch, tmp_path):
+        _cap_bypass(monkeypatch)
+        fuzzer = ScenarioFuzzer(11, max_nodes=25)
+        outcomes = fuzzer.run_campaign(3, bundle_dir=tmp_path)
+        failures = [outcome for outcome in outcomes if not outcome.ok]
+        bundles = sorted(tmp_path.glob("*.json"))
+        assert len(bundles) == len(failures) > 0
+        assert {path.stem for path in bundles} == {
+            outcome.case_id for outcome in failures
+        }
+
+    def test_replay_of_fixed_code_reports_not_reproduced(
+        self, monkeypatch, tmp_path
+    ):
+        fuzzer = ScenarioFuzzer(11, max_nodes=25)
+        index = _capped_three_phase_index(fuzzer)
+        with pytest.MonkeyPatch.context() as patch:
+            _cap_bypass(patch)
+            outcome = fuzzer.run_case(index)
+            path = fuzzer.write_bundle(outcome, tmp_path)
+        # The "bug" is gone (the patch expired): the bundle no longer fails.
+        report = replay_bundle(path)
+        assert not report.reproduced
+        assert not report.matched
+
+    def test_bundling_a_passing_case_is_an_error(self, tmp_path):
+        fuzzer = ScenarioFuzzer(7, max_nodes=20)
+        outcome = fuzzer.run_case(0)
+        assert outcome.ok
+        with pytest.raises(ValueError, match="passed"):
+            fuzzer.write_bundle(outcome, tmp_path)
+
+
+class TestCli:
+    def test_fuzz_exit_zero_on_clean_code(self, capsys):
+        assert validation_main(["--fuzz", "2", "--seed", "7", "--max-nodes", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_fuzz_exit_one_and_bundles_on_violation(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        _cap_bypass(monkeypatch)
+        fuzzer = ScenarioFuzzer(11, max_nodes=25)
+        index = _capped_three_phase_index(fuzzer)
+        code = validation_main(
+            ["--fuzz", str(index + 1), "--seed", "11", "--max-nodes", "25",
+             "--bundle-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert list(tmp_path.glob("fuzz-11-*.json"))
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_replay_exit_codes(self, monkeypatch, tmp_path, capsys):
+        fuzzer = ScenarioFuzzer(11, max_nodes=25)
+        index = _capped_three_phase_index(fuzzer)
+        with pytest.MonkeyPatch.context() as patch:
+            _cap_bypass(patch)
+            outcome = fuzzer.run_case(index)
+            path = fuzzer.write_bundle(outcome, tmp_path)
+            # Bug still present: exact reproduction, exit 0.
+            assert validation_main(["--replay", str(path)]) == 0
+        # Bug gone: not reproduced, exit 1.
+        assert validation_main(["--replay", str(path)]) == 1
+
+    def test_list_invariants(self, capsys):
+        assert validation_main(["--list-invariants"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bandwidth-cap", "packet-conservation", "churn-hygiene"):
+            assert name in out
