@@ -1,16 +1,14 @@
-"""Engine throughput — simulated events per second of wall-clock time.
+"""Engine throughput — thin shim over the registered ``engine-throughput`` benchmark.
 
-Unlike the figure benchmarks, this one measures the *simulator*, not the
-protocol: how many discrete events the engine can execute per second while
-running a fully-wired streaming session (gossip timers, upload limiters,
-latency sampling, delivery bookkeeping).  It is the number every hot-path
-optimisation must move; the history lives in ``CHANGES.md``.
+The implementation lives in :mod:`repro.bench.suite`; this file keeps the
+historical entry points working.
 
 Run through pytest-benchmark::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py -q
 
-or standalone (prints events/sec; used by the CI smoke job)::
+or standalone (prints events/sec; equivalent to
+``python -m repro.bench run --filter engine-throughput``)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--smoke]
 """
@@ -18,50 +16,10 @@ or standalone (prints events/sec; used by the CI smoke job)::
 from __future__ import annotations
 
 import argparse
-import time
 
-from repro.core.config import GossipConfig
-from repro.core.session import SessionConfig, SessionResult, StreamingSession
-from repro.network.transport import NetworkConfig
-from repro.streaming.schedule import StreamConfig
-
-
-def throughput_config(num_nodes: int = 40, num_windows: int = 30, seed: int = 99) -> SessionConfig:
-    """A mid-sized, congestion-free session dominated by engine work."""
-    return SessionConfig(
-        num_nodes=num_nodes,
-        seed=seed,
-        gossip=GossipConfig(fanout=7, refresh_every=1, retransmit_timeout=2.0),
-        stream=StreamConfig(
-            rate_kbps=600.0,
-            payload_bytes=1000,
-            source_packets_per_window=20,
-            fec_packets_per_window=2,
-            num_windows=num_windows,
-        ),
-        network=NetworkConfig(upload_cap_kbps=700.0, max_backlog_seconds=10.0),
-        extra_time=20.0,
-    )
-
-
-def run_once(config: SessionConfig) -> SessionResult:
-    """Run one session to completion (the benchmarked unit of work)."""
-    return StreamingSession(config).run()
-
-
-def measure(num_nodes: int, num_windows: int, repeat: int) -> float:
-    """Best-of-``repeat`` events/sec for the given session size."""
-    run_once(throughput_config(num_nodes=15, num_windows=4))  # warm-up
-    best = 0.0
-    for _ in range(repeat):
-        config = throughput_config(num_nodes=num_nodes, num_windows=num_windows)
-        started = time.perf_counter()
-        result = run_once(config)
-        elapsed = time.perf_counter() - started
-        rate = result.events_processed / elapsed
-        best = max(best, rate)
-        print(f"  {result.events_processed:,} events in {elapsed:.2f}s -> {rate:,.0f} events/s")
-    return best
+from repro.bench import default_registry
+from repro.bench.runner import run_selected
+from repro.bench.suite import run_once, throughput_config  # noqa: F401  (legacy imports)
 
 
 def test_engine_throughput(benchmark):
@@ -76,19 +34,34 @@ def test_engine_throughput(benchmark):
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--nodes", type=int, default=40, help="session size incl. source")
-    parser.add_argument("--windows", type=int, default=30, help="stream length in windows")
-    parser.add_argument("--repeat", type=int, default=3, help="measurement repetitions")
+    parser.add_argument("--nodes", type=int, help="session size incl. source")
+    parser.add_argument("--windows", type=int, help="stream length in windows")
+    parser.add_argument("--repeat", type=int, help="measurement repetitions")
+    parser.add_argument("--json", metavar="PATH", help="write the unified report to PATH")
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny single run for CI: checks the harness, not the number",
+        help="smoke scale, single run for CI: checks the harness, not the number",
     )
     args = parser.parse_args()
-    if args.smoke:
-        best = measure(num_nodes=20, num_windows=6, repeat=1)
-    else:
-        best = measure(num_nodes=args.nodes, num_windows=args.windows, repeat=args.repeat)
+    options = {}
+    if args.nodes is not None:
+        options["nodes"] = str(args.nodes)
+    if args.windows is not None:
+        options["windows"] = str(args.windows)
+    repeat = args.repeat
+    if args.smoke and repeat is None:
+        repeat = 1
+    report = run_selected(
+        default_registry(),
+        patterns=["engine-throughput"],
+        scale_name="smoke" if args.smoke else "reduced",
+        options=options,
+        repeats_override=repeat,
+    )
+    if args.json:
+        print(f"report written to {report.write(args.json)}")
+    best = report.results[0].metrics["events_per_second"]
     print(f"best: {best:,.0f} events/s")
 
 

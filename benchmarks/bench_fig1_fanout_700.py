@@ -1,18 +1,11 @@
 """Figure 1 — percentage of nodes viewing with < 1 % jitter vs fanout (700 kbps).
 
-Paper shape: a bell with an optimal plateau slightly above ln(n) (fanouts
-7–15 at 230 nodes); lower fanouts fail to disseminate, higher fanouts congest
-the upload caps.  The offline-viewing curve stays high for moderately large
-fanouts because the throttling queues drain after the source stops.
-
-The *right* edge of that bell — congestion collapse at oversized fanouts —
-only exists where the upload caps actually saturate.  At the 30-node smoke
-scale they never do (``ExperimentScale.fanout_collapse_expected`` is False),
-so the collapse check flips into its contrapositive: the curve must stay
-high at the largest fanout.  The rising left edge is asserted at every
-scale.
+Thin pytest shim: the generator lives in :mod:`repro.experiments.figures`,
+the paper-shape assertions in :mod:`repro.bench.figure_checks` (shared with
+``python -m repro.bench run --filter figure1``).
 """
 
+from repro.bench.figure_checks import check_figure1
 from repro.experiments.figures import figure1_fanout_700
 
 
@@ -24,21 +17,4 @@ def test_figure1_fanout_700(benchmark, bench_scale, bench_cache, record_figure):
         rounds=1,
     )
     record_figure(result)
-
-    offline = result.series_by_label("offline viewing")
-    ten_second = result.series_by_label("10s lag")
-    optimal = float(bench_scale.optimal_fanout)
-    smallest = float(min(bench_scale.fanout_grid))
-    largest = float(max(bench_scale.fanout_grid))
-
-    # Shape check 1: the optimal fanout serves (almost) everyone.
-    assert offline.y_at(optimal) >= 90.0
-    # Shape check 2: the smallest fanout is clearly worse than the optimum.
-    assert ten_second.y_at(smallest) < ten_second.y_at(optimal)
-    if bench_scale.fanout_collapse_expected:
-        # Shape check 3: the largest fanout collapses for real-time lags.
-        assert ten_second.y_at(largest) < ten_second.y_at(optimal) - 30.0
-    else:
-        # No collapse regime at this scale: the caps never saturate, so the
-        # largest fanout must be at least as good as the optimum.
-        assert ten_second.y_at(largest) >= ten_second.y_at(optimal)
+    check_figure1(result, bench_scale, bench_cache)

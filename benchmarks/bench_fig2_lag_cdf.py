@@ -1,17 +1,13 @@
 """Figure 2 — cumulative distribution of stream lag for various fanouts (700 kbps).
 
-Paper shape: optimal fanouts reach ~100 % of nodes after a small critical
-lag; moderately larger fanouts shift the critical lag right; oversized
-fanouts never reach most nodes within reasonable lags.
-
-As in Figure 1's benchmark, the "oversized fanouts lose" ordering only
-exists where the upload caps saturate; at scales without a collapse regime
-(``fanout_collapse_expected`` False, i.e. smoke) the largest fanout must
-instead also reach (almost) everyone within the plotted lags.
+Thin pytest shim: the generator lives in :mod:`repro.experiments.figures`,
+the paper-shape assertions in :mod:`repro.bench.figure_checks` (shared with
+``python -m repro.bench run --filter figure2``).
 """
 
 import pytest
 
+from repro.bench.figure_checks import FigureCheckSkipped, check_figure2
 from repro.experiments.figures import figure2_lag_cdf
 
 
@@ -23,32 +19,10 @@ def test_figure2_lag_cdf(benchmark, bench_scale, bench_cache, record_figure):
         rounds=1,
     )
     record_figure(result)
-
-    largest_lag = max(bench_scale.fig2_lag_grid)
-    optimal_label = f"fanout {bench_scale.optimal_fanout}"
     try:
-        optimal_series = result.series_by_label(optimal_label)
-    except KeyError:
-        pytest.skip(f"scale {bench_scale.name} does not plot the optimal fanout in figure 2")
-
-    # Every series is a CDF: monotone, bounded by 100.
-    for series in result.series:
-        ys = series.ys()
-        assert all(later >= earlier - 1e-9 for earlier, later in zip(ys, ys[1:]))
-        assert all(0.0 <= y <= 100.0 for y in ys)
-
-    # The optimal fanout reaches (almost) everyone within the plotted lags.
-    assert optimal_series.y_at(largest_lag) >= 90.0
-    largest_fanout = max(bench_scale.fig2_fanouts)
-    oversized_series = result.series_by_label(f"fanout {largest_fanout}")
-    if bench_scale.fanout_collapse_expected:
-        # ... and does so faster than the largest fanout in the plot.
-        mid_lag = bench_scale.fig2_lag_grid[len(bench_scale.fig2_lag_grid) // 3]
-        assert optimal_series.y_at(mid_lag) >= oversized_series.y_at(mid_lag)
-    else:
-        # No collapse regime at this scale: the largest fanout also serves
-        # (almost) everyone within the plotted lags.
-        assert oversized_series.y_at(largest_lag) >= 90.0
+        check_figure2(result, bench_scale, bench_cache)
+    except FigureCheckSkipped as skip:
+        pytest.skip(str(skip))
 
 
 @pytest.fixture(scope="module", autouse=True)

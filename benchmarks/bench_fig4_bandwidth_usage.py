@@ -1,13 +1,13 @@
 """Figure 4 — distribution of per-node upload bandwidth usage.
 
-Paper shape: contributions are heterogeneous even under a homogeneous cap;
-with tight caps (700 kbps) the distribution flattens because saturated good
-nodes push work onto others, while with spare capacity (2000 kbps) the best
-connected nodes dominate.
+Thin pytest shim: the generator lives in :mod:`repro.experiments.figures`,
+the paper-shape assertions in :mod:`repro.bench.figure_checks` (shared with
+``python -m repro.bench run --filter figure4``).
 """
 
 import pytest
 
+from repro.bench.figure_checks import check_figure4
 from repro.experiments.figures import figure4_bandwidth_usage
 
 
@@ -19,22 +19,7 @@ def test_figure4_bandwidth_usage(benchmark, bench_scale, bench_cache, record_fig
         rounds=1,
     )
     record_figure(result)
-
-    # Usage is averaged over the whole run, so the throttling limiter keeps
-    # every node at (or marginally below) its configured cap.
-    for series in result.series:
-        ys = series.ys()
-        # Sorted by contribution, largest first.
-        assert all(earlier >= later - 1e-9 for earlier, later in zip(ys, ys[1:]))
-        cap = float(series.label.rsplit(",", 1)[1].replace("kbps cap", "").strip())
-        assert max(ys) <= cap * 1.05
-
-    # Heterogeneity: the top contributor works clearly harder than the median node.
-    for series in result.series:
-        ys = series.ys()
-        median = ys[len(ys) // 2]
-        if median > 0:
-            assert ys[0] >= median
+    check_figure4(result, bench_scale, bench_cache)
 
 
 @pytest.fixture(scope="module", autouse=True)

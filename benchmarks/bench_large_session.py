@@ -1,22 +1,11 @@
-"""Large-session fast path — 1,000 nodes at paper stream ratios, per-stage timings.
+"""Large-session fast path — thin shim over the registered ``large-session`` benchmark.
 
-Runs the registered ``large-session`` scenario (1,000 nodes, the paper's
-600 kbps / 101 + 9-packet window geometry) on one core, then measures the
-two fast-path stages **in-process against the preserved pre-fast-path
-implementations on the session's own data**:
-
-* **metrics stage** — building the quality analyzer and extracting the
-  figure-facing curves (viewing percentages, complete-window ratio, the
-  Figure 2 lag CDF): one-pass
-  :class:`~repro.metrics.quality.StreamQualityAnalyzer` vs the per-call
-  :class:`~repro.metrics.reference.ReferenceQualityAnalyzer`;
-* **codec stage** — RS encode + max-erasure decode of the stream's windows:
-  the translate-table bulk path vs the scalar byte-at-a-time matrix path
-  (:func:`repro.streaming.fec.reference_encode` / ``reference_decode``).
-
-Both comparisons assert result equality before reporting a speedup, so the
-numbers cannot drift from correctness.  Wall-clock enters the JSON report
-only as information — determinism tests never gate on it.
+The implementation lives in :mod:`repro.bench.suite`: the ``large-session``
+scenario (1,000 nodes at the paper's 600 kbps / 101 + 9 window geometry by
+default) is run once, then the metrics and codec fast paths are timed
+**in-process against the preserved pre-fast-path implementations on the
+session's own data**, asserting result equality before reporting a speedup.
+Those speedup ratios — not wall-clock — are what the baseline gate checks.
 
 Standalone (used by the CI smoke job at a tiny size)::
 
@@ -32,172 +21,10 @@ Full flagship run (a few minutes on one core)::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import random
-import time
-from pathlib import Path
 
-from repro.experiments.scale import XLARGE
-from repro.metrics.quality import OFFLINE_LAG, StreamQualityAnalyzer
-from repro.metrics.reference import ReferenceQualityAnalyzer
-from repro.scenarios import build_scenario
-from repro.scenarios.builder import run_spec
-from repro.streaming.fec import ReedSolomonCode, reference_decode, reference_encode
-from repro.streaming.schedule import StreamConfig
-
-VIEWING_LAGS = (10.0, 20.0, OFFLINE_LAG)
-WINDOW_LAGS = (20.0,)
-LAG_CDF_GRID = XLARGE.fig2_lag_grid
-
-
-def run_session_stage(spec) -> tuple:
-    print(f"session: {spec.describe()}")
-    started = time.perf_counter()
-    result = run_spec(spec)
-    wall = time.perf_counter() - started
-    events_per_second = result.events_processed / wall if wall > 0 else 0.0
-    print(
-        f"  {result.events_processed:,} events in {wall:.1f}s "
-        f"-> {events_per_second:,.0f} events/s; "
-        f"{result.deliveries.total_deliveries:,} deliveries"
-    )
-    return result, {
-        "wall_seconds": round(wall, 3),
-        "events_processed": result.events_processed,
-        "events_per_second": round(events_per_second, 1),
-        "total_deliveries": result.deliveries.total_deliveries,
-        "delivery_ratio": round(result.delivery_ratio(), 6),
-        "viewing_pct_offline": round(result.viewing_percentage(), 3),
-        "viewing_pct_10s": round(result.viewing_percentage(lag=10.0), 3),
-    }
-
-
-def extract_curves(analyzer) -> dict:
-    """The figure-facing extraction both analyzers must agree on."""
-    return {
-        "viewing": [analyzer.viewing_ratio(lag) for lag in VIEWING_LAGS],
-        "complete": [analyzer.average_complete_window_ratio(lag) for lag in WINDOW_LAGS],
-        "lag_cdf": analyzer.lag_cdf(LAG_CDF_GRID),
-    }
-
-
-def measure_metrics_stage(result) -> dict:
-    schedule, deliveries = result.schedule, result.deliveries
-    nodes = result.survivors()
-
-    started = time.perf_counter()
-    fast_curves = extract_curves(StreamQualityAnalyzer(schedule, deliveries, nodes))
-    fast_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    reference_curves = extract_curves(ReferenceQualityAnalyzer(schedule, deliveries, nodes))
-    reference_seconds = time.perf_counter() - started
-
-    if fast_curves != reference_curves:
-        raise AssertionError("fast metrics stage diverged from the reference implementation")
-    speedup = reference_seconds / fast_seconds if fast_seconds > 0 else 0.0
-    print(
-        f"metrics stage: fast {fast_seconds * 1000:.1f}ms vs reference "
-        f"{reference_seconds * 1000:.1f}ms -> {speedup:.1f}x (identical results)"
-    )
-    return {
-        "fast_seconds": round(fast_seconds, 4),
-        "reference_seconds": round(reference_seconds, 4),
-        "speedup": round(speedup, 2),
-        "identical_results": True,
-        "nodes_analyzed": len(nodes),
-        "lag_values_evaluated": len(VIEWING_LAGS) + len(WINDOW_LAGS) + len(LAG_CDF_GRID),
-        "_fast_raw": fast_seconds,
-        "_reference_raw": reference_seconds,
-    }
-
-
-def measure_codec_stage(stream: StreamConfig, windows_timed: int, seed: int = 7) -> dict:
-    """Encode + max-erasure decode of real-geometry windows, bulk vs scalar."""
-    rng = random.Random(seed)
-    code = ReedSolomonCode(stream.source_packets_per_window, stream.fec_packets_per_window)
-    window_payloads = [
-        [
-            bytes(rng.randrange(256) for _ in range(stream.payload_bytes))
-            for _ in range(stream.source_packets_per_window)
-        ]
-        for _ in range(windows_timed)
-    ]
-    erasures = [
-        set(rng.sample(range(code.total_shards), code.parity_shards))
-        for _ in range(windows_timed)
-    ]
-
-    def erase(codeword, erased):
-        return {i: s for i, s in enumerate(codeword) if i not in erased}
-
-    started = time.perf_counter()
-    fast_out = []
-    for data, erased in zip(window_payloads, erasures):
-        codeword = list(data) + code.encode(data)
-        fast_out.append(code.decode(erase(codeword, erased)))
-    fast_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    reference_out = []
-    for data, erased in zip(window_payloads, erasures):
-        codeword = list(data) + reference_encode(code, data)
-        reference_out.append(reference_decode(code, erase(codeword, erased)))
-    reference_seconds = time.perf_counter() - started
-
-    if fast_out != reference_out or any(out != data for out, data in zip(fast_out, window_payloads)):
-        raise AssertionError("bulk codec diverged from the scalar reference implementation")
-    speedup = reference_seconds / fast_seconds if fast_seconds > 0 else 0.0
-    print(
-        f"codec stage ({windows_timed} windows of "
-        f"{stream.source_packets_per_window}+{stream.fec_packets_per_window} x "
-        f"{stream.payload_bytes}B): fast {fast_seconds * 1000:.1f}ms vs scalar "
-        f"{reference_seconds * 1000:.1f}ms -> {speedup:.1f}x (identical results)"
-    )
-    return {
-        "windows_timed": windows_timed,
-        "fast_seconds": round(fast_seconds, 4),
-        "reference_seconds": round(reference_seconds, 4),
-        "speedup": round(speedup, 2),
-        "identical_results": True,
-        "_fast_raw": fast_seconds,
-        "_reference_raw": reference_seconds,
-    }
-
-
-def measure(num_nodes: int | None, num_windows: int | None, codec_windows: int) -> dict:
-    overrides = {}
-    if num_nodes is not None:
-        overrides["num_nodes"] = num_nodes
-    if num_windows is not None:
-        overrides["stream"] = StreamConfig.paper_defaults(num_windows=num_windows)
-    spec = build_scenario("large-session", **overrides)
-
-    result, session_report = run_session_stage(spec)
-    metrics_report = measure_metrics_stage(result)
-    codec_report = measure_codec_stage(spec.stream, codec_windows)
-
-    # Combine from the raw timings: the rounded per-stage report values can
-    # collapse a sub-0.1 ms stage to 0.0 at smoke sizes.
-    fast_total = metrics_report.pop("_fast_raw") + codec_report.pop("_fast_raw")
-    reference_total = metrics_report.pop("_reference_raw") + codec_report.pop("_reference_raw")
-    combined = reference_total / fast_total if fast_total > 0 else 0.0
-    print(f"combined metrics+codec stage speedup: {combined:.1f}x")
-
-    return {
-        "benchmark": "large_session",
-        "scenario": "large-session",
-        "num_nodes": spec.num_nodes,
-        "num_windows": spec.stream.num_windows,
-        "packets_per_window": spec.stream.packets_per_window,
-        "payload_bytes": spec.stream.payload_bytes,
-        "cpu_count": os.cpu_count(),
-        "session": session_report,
-        "metrics_stage": metrics_report,
-        "codec_stage": codec_report,
-        "combined_stage_speedup": round(combined, 2),
-    }
+from repro.bench import default_registry
+from repro.bench.runner import run_selected
+from repro.bench.suite import measure_codec_stage, measure_metrics_stage  # noqa: F401
 
 
 def main() -> None:
@@ -212,30 +39,29 @@ def main() -> None:
     parser.add_argument(
         "--codec-windows",
         type=int,
-        default=None,
         metavar="N",
-        help="windows to encode+decode in the codec stage (default: 4; 1 with --smoke)",
+        help="windows to encode+decode in the codec stage (default: 4)",
     )
-    parser.add_argument("--json", metavar="PATH", help="write the report as JSON to PATH")
+    parser.add_argument("--json", metavar="PATH", help="write the unified report to PATH")
     args = parser.parse_args()
 
-    num_nodes = args.nodes
-    num_windows = args.windows
-    codec_windows = args.codec_windows
-    if args.smoke:
-        num_nodes = 60 if num_nodes is None else num_nodes
-        num_windows = 3 if num_windows is None else num_windows
-        codec_windows = 1 if codec_windows is None else codec_windows
-    if codec_windows is None:
-        codec_windows = 4
-
-    report = measure(num_nodes, num_windows, codec_windows)
-
+    # The ``smoke`` scale already means a tiny session with a 4-window codec
+    # stage; explicit flags override it, mirroring the historical CLI.
+    options = {}
+    if args.nodes is not None:
+        options["nodes"] = str(args.nodes)
+    if args.windows is not None:
+        options["windows"] = str(args.windows)
+    if args.codec_windows is not None:
+        options["codec_windows"] = str(args.codec_windows)
+    report = run_selected(
+        default_registry(),
+        patterns=["large-session"],
+        scale_name="smoke" if args.smoke else "xlarge",
+        options=options,
+    )
     if args.json:
-        path = Path(args.json)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-        print(f"report written to {path}")
+        print(f"report written to {report.write(args.json)}")
 
 
 if __name__ == "__main__":

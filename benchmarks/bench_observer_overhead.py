@@ -1,20 +1,12 @@
-"""Observer-layer overhead guard: hooks must be free until armed.
+"""Observer-layer overhead guard — thin shim over ``observer-overhead``.
 
-The validation observer edges (:mod:`repro.validation.observers`) sit on the
-three hottest paths of the simulator — event dispatch, datagram send and
-packet delivery.  Their contract is *zero cost when idle*: with no observer
-registered each edge pays a single ``is None`` test.  This benchmark
-measures the same session three ways:
+The implementation lives in :mod:`repro.bench.suite`: the same session is
+run unobserved, with a do-nothing :class:`SessionObserver` attached, and
+with the full :class:`InvariantSuite` armed; the hooks' contract is *zero
+cost when idle*.
 
-* **unobserved** — no observers registered (the production default);
-* **no-op observer** — a do-nothing :class:`SessionObserver` attached
-  everywhere (the price of the dispatch loops themselves);
-* **armed invariants** — the full :class:`InvariantSuite` (the price of
-  actually validating every edge).
-
-Run standalone (prints events/sec per mode and overhead ratios; the CI
-smoke job checks the harness, not the numbers — this container's timings
-are too noisy for a hard threshold in CI)::
+Run standalone (prints events/sec per mode and overhead ratios; equivalent
+to ``python -m repro.bench run --filter observer-overhead``)::
 
     PYTHONPATH=src python benchmarks/bench_observer_overhead.py [--smoke] \
         [--json benchmarks/results/observer_overhead.json]
@@ -27,63 +19,21 @@ a hard failure (used manually when touching the hot paths; the PR bar is
 from __future__ import annotations
 
 import argparse
-import json
-import time
-from pathlib import Path
 
-from repro.core.session import StreamingSession
-from repro.validation import InvariantSuite, SessionObserver, attach_session_observer
-
-from bench_engine_throughput import throughput_config
-
-
-def _run_session(num_nodes: int, num_windows: int, mode: str) -> tuple[int, float]:
-    """One full session in the given mode; returns (events, seconds)."""
-    session = StreamingSession(throughput_config(num_nodes=num_nodes, num_windows=num_windows))
-    session.build()
-    suite = None
-    if mode == "noop":
-        attach_session_observer(session, SessionObserver())
-    elif mode == "invariants":
-        suite = InvariantSuite.default().attach(session)
-    started = time.perf_counter()
-    result = session.run()
-    if suite is not None:
-        suite.finalize(result)
-    elapsed = time.perf_counter() - started
-    return result.events_processed, elapsed
-
-
-def measure(num_nodes: int, num_windows: int, repeat: int) -> dict:
-    """Best-of-``repeat`` events/sec for each observation mode."""
-    _run_session(15, 4, "unobserved")  # warm-up
-    report: dict = {"num_nodes": num_nodes, "num_windows": num_windows, "repeat": repeat}
-    for mode in ("unobserved", "noop", "invariants"):
-        best = 0.0
-        for _ in range(repeat):
-            events, elapsed = _run_session(num_nodes, num_windows, mode)
-            best = max(best, events / elapsed)
-        report[mode] = best
-        print(f"  {mode:12s} {best:>10,.0f} events/s")
-    report["noop_overhead"] = report["unobserved"] / report["noop"] - 1.0
-    report["invariant_overhead"] = report["unobserved"] / report["invariants"] - 1.0
-    print(
-        f"overhead: no-op observer {report['noop_overhead']:+.1%}, "
-        f"armed invariants {report['invariant_overhead']:+.1%}"
-    )
-    return report
+from repro.bench import default_registry
+from repro.bench.runner import run_selected
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--nodes", type=int, default=40, help="session size incl. source")
-    parser.add_argument("--windows", type=int, default=30, help="stream length in windows")
-    parser.add_argument("--repeat", type=int, default=3, help="measurement repetitions")
-    parser.add_argument("--json", metavar="PATH", help="write the report as JSON")
+    parser.add_argument("--nodes", type=int, help="session size incl. source")
+    parser.add_argument("--windows", type=int, help="stream length in windows")
+    parser.add_argument("--repeat", type=int, help="measurement repetitions")
+    parser.add_argument("--json", metavar="PATH", help="write the unified report to PATH")
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny single run for CI: checks the harness, not the numbers",
+        help="smoke scale, single run for CI: checks the harness, not the numbers",
     )
     parser.add_argument(
         "--assert-idle-overhead",
@@ -92,20 +42,26 @@ def main() -> None:
         help="fail if the no-op-observer overhead exceeds PCT percent",
     )
     args = parser.parse_args()
-    if args.smoke:
-        report = measure(num_nodes=20, num_windows=6, repeat=1)
-    else:
-        report = measure(num_nodes=args.nodes, num_windows=args.windows, repeat=args.repeat)
+    options = {}
+    if args.nodes is not None:
+        options["nodes"] = str(args.nodes)
+    if args.windows is not None:
+        options["windows"] = str(args.windows)
+    report = run_selected(
+        default_registry(),
+        patterns=["observer-overhead"],
+        scale_name="smoke" if args.smoke else "reduced",
+        options=options,
+        repeats_override=args.repeat,
+    )
     if args.json:
-        path = Path(args.json)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-        print(f"report written to {path}")
+        print(f"report written to {report.write(args.json)}")
+    metrics = report.results[0].metrics
     if args.assert_idle_overhead is not None:
         limit = args.assert_idle_overhead / 100.0
-        if report["noop_overhead"] > limit:
+        if metrics["noop_overhead"] > limit:
             raise SystemExit(
-                f"no-op observer overhead {report['noop_overhead']:+.1%} exceeds "
+                f"no-op observer overhead {metrics['noop_overhead']:+.1%} exceeds "
                 f"the {limit:+.1%} bound"
             )
 

@@ -1,12 +1,10 @@
-"""Parallel sweep speedup — wall-clock of `--jobs N` vs the serial path.
+"""Parallel sweep speedup — thin shim over the registered ``sweep-parallel`` benchmark.
 
-Runs one ≥ 12-point sweep (fanout × upload-cap grid at the selected scale)
-twice — serially and on a multiprocess executor — verifies the results are
-identical, and reports the wall-clock speedup.  This is the number the
-``repro.sweep`` subsystem exists to move: on a 4-core machine the sweep is
-embarrassingly parallel and the speedup should approach the worker count
-(≥ 2.5× on 4 workers); on fewer cores the measured speedup is bounded by
-the hardware, which the JSON report records via ``cpu_count``.
+The implementation lives in :mod:`repro.bench.suite`: one 12-point sweep
+(6 fanouts × 2 upload caps) runs serially and on a multiprocess executor,
+the results are asserted identical, and the wall-clock speedup is reported.
+On a 1-core container the speedup is bounded at ~1×; the report records
+``cpu_count`` in its host hints so the number stays interpretable.
 
 Standalone (used by the CI smoke job)::
 
@@ -21,73 +19,9 @@ Full run (reduced scale)::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import time
-from pathlib import Path
 
-from repro.experiments.scale import scale_by_name
-from repro.sweep import (
-    ParallelExecutor,
-    SerialExecutor,
-    SweepGrid,
-    SweepSpec,
-    aggregate,
-    aggregate_table,
-    run_sweep,
-)
-
-
-def sweep_spec(scale_name: str) -> SweepSpec:
-    """A 12-point sweep: 6 fanouts × 2 upload caps at the given scale."""
-    scale = scale_by_name(scale_name)
-    fanouts = tuple(scale.fanout_grid[:6])
-    return SweepSpec(
-        name="bench-sweep-parallel",
-        scale_name=scale_name,
-        grid=SweepGrid(fanouts=fanouts, caps_kbps=(None, 2000.0)),
-        replicas=1,
-    )
-
-
-def measure(scale_name: str, jobs: int) -> dict:
-    """Run the sweep serially and with ``jobs`` workers; return the report."""
-    scale = scale_by_name(scale_name)
-    spec = sweep_spec(scale_name)
-    tasks = spec.expand()
-    print(f"sweep: {len(tasks)} points at scale {scale_name!r}, {jobs} workers")
-
-    started = time.perf_counter()
-    serial = run_sweep(scale, tasks, executor=SerialExecutor())
-    serial_seconds = time.perf_counter() - started
-    print(f"  serial:   {serial_seconds:.2f}s")
-
-    started = time.perf_counter()
-    parallel = run_sweep(scale, tasks, executor=ParallelExecutor(jobs=jobs))
-    parallel_seconds = time.perf_counter() - started
-    print(f"  parallel: {parallel_seconds:.2f}s ({jobs} workers)")
-
-    if serial.results != parallel.results:
-        raise AssertionError("parallel sweep results differ from the serial ones")
-    if aggregate_table(aggregate(serial.results)) != aggregate_table(
-        aggregate(parallel.results)
-    ):
-        raise AssertionError("parallel aggregate table differs from the serial one")
-    print("  determinism: parallel results byte-identical to serial ✓")
-
-    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
-    print(f"  speedup: {speedup:.2f}x")
-    return {
-        "benchmark": "sweep_parallel",
-        "scale": scale_name,
-        "points": len(tasks),
-        "jobs": jobs,
-        "cpu_count": os.cpu_count(),
-        "serial_seconds": round(serial_seconds, 3),
-        "parallel_seconds": round(parallel_seconds, 3),
-        "speedup": round(speedup, 3),
-        "identical_results": True,
-    }
+from repro.bench import default_registry
+from repro.bench.runner import run_selected
 
 
 def main() -> None:
@@ -99,17 +33,17 @@ def main() -> None:
         action="store_true",
         help="use the smoke scale: checks the harness, not the number",
     )
-    parser.add_argument("--json", metavar="PATH", help="write the report as JSON to PATH")
+    parser.add_argument("--json", metavar="PATH", help="write the unified report to PATH")
     args = parser.parse_args()
 
-    scale_name = "smoke" if args.smoke else args.scale
-    report = measure(scale_name, args.jobs)
-
+    report = run_selected(
+        default_registry(),
+        patterns=["sweep-parallel"],
+        scale_name="smoke" if args.smoke else args.scale,
+        options={"jobs": str(args.jobs)},
+    )
     if args.json:
-        path = Path(args.json)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-        print(f"report written to {path}")
+        print(f"report written to {report.write(args.json)}")
 
 
 if __name__ == "__main__":

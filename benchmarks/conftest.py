@@ -8,22 +8,21 @@ through a process-wide run cache; modules clear the cache when the next
 figure does not need their runs, to bound memory.
 
 Each benchmark also writes the regenerated table to
-``benchmarks/results/<figure>.txt`` so the series survive independently of
+``benchmarks/results/<figure>_<scale>.txt`` (through the same writer the
+unified ``repro.bench`` runner uses) so the series survive independently of
 pytest's output capture.
 """
 
 from __future__ import annotations
 
 import os
-from pathlib import Path
 
 import pytest
 
+from repro.bench.suite import write_figure_table
 from repro.experiments.figures import FigureResult
 from repro.experiments.scale import ExperimentScale, scale_by_name
 from repro.sweep.cache import SummaryCache
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 _shared_cache = SummaryCache()
 
@@ -46,10 +45,7 @@ def record_figure():
     """Writer that persists a figure's table under benchmarks/results/."""
 
     def _record(result: FigureResult) -> str:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        table = result.to_table()
-        path = RESULTS_DIR / f"{result.figure_id}_{result.scale_name}.txt"
-        path.write_text(table + "\n", encoding="utf-8")
+        table = write_figure_table(result)
         print(f"\n{table}\n")
         return table
 

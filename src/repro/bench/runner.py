@@ -1,0 +1,117 @@
+"""Executes registered benchmarks and assembles the unified report.
+
+The harness owns the warmup/repeat policy so individual benchmarks only
+measure once: a benchmark's ``run`` is called ``repeats_for(scale)`` times
+and the per-repeat metric dicts are combined per the metric spec —
+
+* ``identity`` and ``counter`` metrics must be **identical** across repeats
+  (they are deterministic by contract; a drifting counter is a real bug and
+  fails the run immediately rather than producing a lying report);
+* every other kind keeps its best value (max when higher is better, min
+  otherwise) — the classic best-of-N defence against one-off scheduler
+  noise on a busy runner.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bench.report import BenchmarkRecord, BenchReport, current_fingerprint
+from repro.bench.spec import Benchmark, BenchContext, BenchmarkRegistry
+
+
+class BenchmarkRunError(RuntimeError):
+    """A benchmark violated its own declared contract while running."""
+
+
+class BenchmarkSelectionError(KeyError):
+    """No registered benchmark matches the requested filter."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable
+        return self.args[0] if self.args else "no benchmark selected"
+
+
+def _combine_repeats(benchmark: Benchmark, repeats: List[Mapping[str, float]]) -> Dict[str, float]:
+    """Fold per-repeat metric dicts into one record per the metric specs."""
+    declared = {metric.name for metric in benchmark.metrics}
+    combined: Dict[str, float] = {}
+    for index, sample in enumerate(repeats):
+        extra = set(sample) - declared
+        if extra:
+            raise BenchmarkRunError(
+                f"benchmark {benchmark.name!r} reported undeclared metrics: {sorted(extra)}"
+            )
+        missing = declared - set(sample)
+        if missing:
+            raise BenchmarkRunError(
+                f"benchmark {benchmark.name!r} repeat {index} omitted metrics: {sorted(missing)}"
+            )
+    for metric in benchmark.metrics:
+        values = [float(sample[metric.name]) for sample in repeats]
+        if metric.kind in ("identity", "counter"):
+            if any(value != values[0] for value in values[1:]):
+                raise BenchmarkRunError(
+                    f"deterministic metric {benchmark.name}:{metric.name} varied across "
+                    f"repeats: {values}"
+                )
+            combined[metric.name] = values[0]
+        elif metric.higher_is_better:
+            combined[metric.name] = max(values)
+        else:
+            combined[metric.name] = min(values)
+    return combined
+
+
+def run_benchmark(benchmark: Benchmark, ctx: BenchContext) -> BenchmarkRecord:
+    """Warm up, repeat, combine: one benchmark to one record."""
+    repeats = benchmark.repeats_for(ctx.scale_name)
+    if repeats < 1:
+        raise BenchmarkRunError(f"benchmark {benchmark.name!r} requests {repeats} repeats")
+    if benchmark.warmup is not None:
+        benchmark.warmup(ctx)
+    samples: List[Mapping[str, float]] = []
+    started = time.perf_counter()
+    for _ in range(repeats):
+        samples.append(dict(benchmark.run(ctx)))
+    wall_seconds = time.perf_counter() - started
+    record = BenchmarkRecord(
+        benchmark=benchmark.name,
+        metrics=_combine_repeats(benchmark, samples),
+        repeats=repeats,
+        wall_seconds=wall_seconds,
+    )
+    if benchmark.drop_cache_after and ctx.cache is not None:
+        ctx.cache.clear()
+    return record
+
+
+def run_selected(
+    registry: BenchmarkRegistry,
+    patterns: Sequence[str] = (),
+    scale_name: str = "smoke",
+    options: Optional[Dict[str, str]] = None,
+    repeats_override: Optional[int] = None,
+    verbose: bool = True,
+) -> BenchReport:
+    """Run every benchmark matching ``patterns`` and build one report."""
+    selected = registry.select(patterns)
+    if not selected:
+        raise BenchmarkSelectionError(
+            f"no benchmark matches {list(patterns)!r}; registered: {', '.join(registry.names())}"
+        )
+    ctx = BenchContext(scale_name=scale_name, options=dict(options or {}), verbose=verbose)
+    report = BenchReport(scale=scale_name, fingerprint=current_fingerprint())
+    for benchmark in selected:
+        runnable = benchmark
+        if repeats_override is not None:
+            from repro.bench.spec import scaled
+
+            runnable = scaled(benchmark, repeats=repeats_override, smoke_repeats=repeats_override)
+        ctx.log(f"[{runnable.name}] {runnable.description} (scale={scale_name})")
+        record = run_benchmark(runnable, ctx)
+        for name in sorted(record.metrics):
+            ctx.log(f"    {name} = {record.metrics[name]:,.6g}")
+        ctx.log(f"    ({record.repeats} repeat(s), {record.wall_seconds:.2f}s)")
+        report.results.append(record)
+    return report

@@ -26,8 +26,8 @@ nodes available.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.config import GossipConfig
 from repro.core.session import SessionConfig

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.simulation.timers import PeriodicTimer
-
 from repro.simulation.clock import SimulationClock
 from repro.simulation.errors import SimulationStateError, SimulationTimeError
 from repro.simulation.event_queue import EventCallback, EventHandle, EventQueue
 from repro.simulation.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.timers import PeriodicTimer
 
 
 class Simulator:

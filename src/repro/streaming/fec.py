@@ -19,7 +19,7 @@ complete streaming system: the examples encode and decode real payloads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.streaming.gf256 import FIELD_SIZE, Matrix, inverse
 

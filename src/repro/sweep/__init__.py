@@ -46,7 +46,13 @@ from repro.sweep.executor import (
     run_task,
 )
 from repro.sweep.spec import ConfigPatch, SweepGrid, SweepSpec, SweepTask, dedupe_tasks
-from repro.sweep.store import ResultStore, code_fingerprint, run_fingerprint, scale_fingerprint
+from repro.sweep.store import (
+    ResultStore,
+    clear_fingerprint_cache,
+    code_fingerprint,
+    run_fingerprint,
+    scale_fingerprint,
+)
 from repro.sweep.summary import MetricsRequest, PointSummary, summarize
 
 __all__ = [
@@ -67,6 +73,7 @@ __all__ = [
     "aggregate",
     "aggregate_table",
     "apply_patch",
+    "clear_fingerprint_cache",
     "code_fingerprint",
     "compute_summary",
     "dedupe_tasks",

@@ -15,7 +15,7 @@ hands to the parallel executor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping
 
 from repro.experiments.runner import ExperimentPoint
 from repro.experiments.scale import ExperimentScale

@@ -33,6 +33,16 @@ RecordKey = Tuple[str, int, str]
 _FINGERPRINT_CACHE: Dict[str, str] = {}
 
 
+def clear_fingerprint_cache() -> None:
+    """Forget the cached code fingerprint (tests that fake sources use this).
+
+    The fingerprint also stamps every ``repro.bench`` report; anything that
+    swaps the package sources under a running process (test fixtures, hot
+    reloads) must clear the cache or the stamp would lie.
+    """
+    _FINGERPRINT_CACHE.clear()
+
+
 def code_fingerprint() -> str:
     """Hash of every ``repro`` source file (stable across processes).
 

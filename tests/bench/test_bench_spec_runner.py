@@ -1,0 +1,165 @@
+"""Benchmark specs, registry selection, and the warmup/repeat harness."""
+
+import pytest
+
+from repro.bench.report import BenchReport
+from repro.bench.runner import BenchmarkRunError, run_benchmark, run_selected
+from repro.bench.spec import Benchmark, BenchContext, BenchmarkRegistry, Metric
+
+
+def counting_benchmark(samples, name="count", **kwargs) -> Benchmark:
+    """Returns the next dict from ``samples`` on every run call."""
+    iterator = iter(samples)
+    return Benchmark(
+        name=name,
+        description="synthetic",
+        run=lambda ctx: next(iterator),
+        metrics=(
+            Metric("det", kind="identity"),
+            Metric("best_high", kind="rate", higher_is_better=True),
+            Metric("best_low", kind="rate", higher_is_better=False),
+        ),
+        **kwargs,
+    )
+
+
+class TestMetricSpec:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            Metric("x", kind="wallclock")
+
+    def test_kind_defaults_drive_gating(self):
+        assert Metric("a", kind="identity").gated
+        assert Metric("a", kind="counter").gated
+        assert Metric("a", kind="ratio").gated
+        assert not Metric("a", kind="rate").gated
+        assert not Metric("a", kind="info").gated
+        # An explicit tolerance opts a rate into gating.
+        assert Metric("a", kind="rate", tolerance=0.5).gated
+
+    def test_ratio_default_band(self):
+        assert Metric("a", kind="ratio").band == 0.5
+        assert Metric("a", kind="ratio", tolerance=0.25).band == 0.25
+
+
+class TestRegistry:
+    def test_duplicate_names_are_rejected(self):
+        registry = BenchmarkRegistry()
+        registry.register(counting_benchmark([{}]))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(counting_benchmark([{}]))
+
+    def test_selection_matches_name_and_tags(self):
+        registry = BenchmarkRegistry()
+        registry.register(counting_benchmark([{}], name="alpha-engine", tags=("hot",)))
+        registry.register(counting_benchmark([{}], name="beta", tags=("figures",)))
+        assert [b.name for b in registry.select(["engine"])] == ["alpha-engine"]
+        assert [b.name for b in registry.select(["figures"])] == ["beta"]
+        assert [b.name for b in registry.select(["hot", "beta"])] == ["alpha-engine", "beta"]
+        assert len(registry.select([])) == 2
+        assert registry.select(["nothing"]) == []
+
+    def test_default_suite_registers_all_twelve(self):
+        from repro.bench import default_registry
+
+        names = default_registry().names()
+        assert len(names) == 12
+        assert names[:2] == ["engine-throughput", "observer-overhead"]
+        assert [f"figure{i}" for i in range(1, 9)] == names[2:10]
+        assert names[10:] == ["large-session", "sweep-parallel"]
+
+
+class TestRepeatHarness:
+    def test_best_of_combines_by_direction(self):
+        samples = [
+            {"det": 5.0, "best_high": 10.0, "best_low": 3.0},
+            {"det": 5.0, "best_high": 12.0, "best_low": 2.0},
+            {"det": 5.0, "best_high": 11.0, "best_low": 4.0},
+        ]
+        benchmark = counting_benchmark(samples, repeats=3)
+        record = run_benchmark(benchmark, BenchContext("reduced", verbose=False))
+        assert record.repeats == 3
+        assert record.metrics == {"det": 5.0, "best_high": 12.0, "best_low": 2.0}
+
+    def test_smoke_scale_uses_smoke_repeats(self):
+        samples = [{"det": 1.0, "best_high": 1.0, "best_low": 1.0}]
+        benchmark = counting_benchmark(samples, repeats=3, smoke_repeats=1)
+        record = run_benchmark(benchmark, BenchContext("smoke", verbose=False))
+        assert record.repeats == 1
+
+    def test_drifting_deterministic_metric_fails_loudly(self):
+        samples = [
+            {"det": 5.0, "best_high": 1.0, "best_low": 1.0},
+            {"det": 6.0, "best_high": 1.0, "best_low": 1.0},
+        ]
+        benchmark = counting_benchmark(samples, repeats=2)
+        with pytest.raises(BenchmarkRunError, match="varied across"):
+            run_benchmark(benchmark, BenchContext("reduced", verbose=False))
+
+    def test_undeclared_metric_is_rejected(self):
+        benchmark = counting_benchmark([{"det": 1.0, "best_high": 1.0, "best_low": 1.0, "x": 1.0}])
+        with pytest.raises(BenchmarkRunError, match="undeclared"):
+            run_benchmark(benchmark, BenchContext("smoke", verbose=False))
+
+    def test_omitted_metric_is_rejected(self):
+        benchmark = counting_benchmark([{"det": 1.0}])
+        with pytest.raises(BenchmarkRunError, match="omitted"):
+            run_benchmark(benchmark, BenchContext("smoke", verbose=False))
+
+    def test_warmup_runs_once_before_repeats(self):
+        calls = []
+        samples = [{"det": 1.0, "best_high": 1.0, "best_low": 1.0} for _ in range(3)]
+        benchmark = counting_benchmark(samples, repeats=3)
+        benchmark = Benchmark(
+            name=benchmark.name,
+            description=benchmark.description,
+            run=lambda ctx: (calls.append("run"), samples[0])[1],
+            metrics=benchmark.metrics,
+            repeats=3,
+            warmup=lambda ctx: calls.append("warmup"),
+        )
+        run_benchmark(benchmark, BenchContext("reduced", verbose=False))
+        assert calls == ["warmup", "run", "run", "run"]
+
+
+class TestRunSelected:
+    def test_unknown_filter_raises(self):
+        registry = BenchmarkRegistry()
+        registry.register(counting_benchmark([{}]))
+        with pytest.raises(KeyError, match="no benchmark matches"):
+            run_selected(registry, patterns=["ghost"], verbose=False)
+
+    def test_report_carries_scale_and_fingerprint(self):
+        from repro.sweep import code_fingerprint
+
+        registry = BenchmarkRegistry()
+        registry.register(
+            counting_benchmark([{"det": 1.0, "best_high": 1.0, "best_low": 1.0}])
+        )
+        report = run_selected(registry, scale_name="smoke", verbose=False)
+        assert isinstance(report, BenchReport)
+        assert report.scale == "smoke"
+        assert report.fingerprint == code_fingerprint()
+        assert report.results[0].benchmark == "count"
+
+    def test_repeat_override_applies(self):
+        samples = [{"det": 1.0, "best_high": float(i), "best_low": 1.0} for i in range(4)]
+        registry = BenchmarkRegistry()
+        registry.register(counting_benchmark(samples, repeats=1))
+        report = run_selected(registry, scale_name="reduced", repeats_override=4, verbose=False)
+        assert report.results[0].repeats == 4
+        assert report.results[0].metrics["best_high"] == 3.0
+
+
+class TestContextOptions:
+    def test_option_int_parses_and_defaults(self):
+        ctx = BenchContext("smoke", options={"nodes": "25"})
+        assert ctx.option_int("nodes", 40) == 25
+        assert ctx.option_int("windows", 7) == 7
+        assert ctx.option_int("windows") is None
+
+    def test_summary_cache_is_lazily_shared(self):
+        ctx = BenchContext("smoke")
+        assert ctx.cache is None
+        cache = ctx.summary_cache()
+        assert ctx.summary_cache() is cache

@@ -1,0 +1,80 @@
+"""Every legacy ``benchmarks/bench_*.py`` entry point still executes.
+
+The twelve scripts became thin shims over :mod:`repro.bench` — these tests
+pin that the *historical invocations* (standalone CLI with ``--smoke``,
+pytest for the figure benches) keep working at smoke scale.  Sizes are
+shrunk to the minimum each interface allows; this is an execution pin, not
+a measurement.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+FIGURE_SCRIPTS = sorted(BENCH_DIR.glob("bench_fig*.py"))
+
+CLI_INVOCATIONS = {
+    "bench_engine_throughput.py": ["--smoke", "--nodes", "12", "--windows", "2"],
+    "bench_observer_overhead.py": [
+        "--smoke", "--nodes", "12", "--windows", "2", "--assert-idle-overhead", "100",
+    ],
+    "bench_large_session.py": [
+        "--smoke", "--nodes", "25", "--windows", "2", "--codec-windows", "1",
+    ],
+    "bench_sweep_parallel.py": ["--smoke", "--jobs", "2"],
+}
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_BENCH_SCALE"] = "smoke"
+    return env
+
+
+def test_the_twelve_scripts_are_all_accounted_for():
+    scripts = sorted(p.name for p in BENCH_DIR.glob("bench_*.py"))
+    assert len(scripts) == 12
+    covered = set(CLI_INVOCATIONS) | {p.name for p in FIGURE_SCRIPTS}
+    assert covered == set(scripts)
+
+
+@pytest.mark.parametrize("script", sorted(CLI_INVOCATIONS))
+def test_cli_entry_point_executes_at_smoke_scale(script, tmp_path):
+    json_path = tmp_path / f"{script}.json"
+    result = subprocess.run(
+        [sys.executable, str(BENCH_DIR / script), *CLI_INVOCATIONS[script],
+         "--json", str(json_path)],
+        cwd=REPO_ROOT,
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    # Every shim now writes the unified report schema.
+    from repro.bench.report import BenchReport
+
+    report = BenchReport.load(json_path)
+    assert len(report.results) == 1
+
+
+def test_figure_pytest_entry_points_execute_at_smoke_scale():
+    """All eight figure shims in one pytest run (they share the run cache)."""
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         *(str(path) for path in FIGURE_SCRIPTS)],
+        cwd=REPO_ROOT,
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert result.returncode == 0, f"figure shims failed:\n{result.stdout}\n{result.stderr}"
+    assert "8 passed" in result.stdout

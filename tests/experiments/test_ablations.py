@@ -1,6 +1,5 @@
 """Tests for the ablation studies (run at the tiny scale)."""
 
-import pytest
 
 from repro.experiments.ablations import (
     ALL_ABLATIONS,

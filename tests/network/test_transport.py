@@ -7,7 +7,6 @@ from repro.network.latency import ConstantLatency
 from repro.network.loss import UniformLoss
 from repro.network.message import Message
 from repro.network.transport import Network, NetworkConfig
-from repro.simulation.engine import Simulator
 from repro.simulation.rng import RngRegistry
 
 

@@ -89,9 +89,9 @@ class TestCancelDuringDispatch:
     def test_event_cancels_a_same_instant_event_mid_dispatch(self):
         simulator = Simulator(seed=1)
         fired = []
-        first = simulator.schedule(1.0, lambda: simulator.cancel(second))
+        simulator.schedule(1.0, lambda: simulator.cancel(second))
         second = simulator.schedule(1.0, fired.append, "second")
-        third = simulator.schedule(1.0, fired.append, "third")
+        simulator.schedule(1.0, fired.append, "third")
         executed = simulator.run_until_idle()
         # Same-instant events fire in scheduling order; the second was
         # cancelled by the first while already at the top of the heap.

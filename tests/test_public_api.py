@@ -58,3 +58,12 @@ class TestPublicApi:
         assert callable(validation.validate_session)
         assert callable(validation.ScenarioFuzzer)
         assert callable(validation.replay_bundle)
+
+    def test_bench_package_importable(self):
+        from repro import bench
+
+        for name in bench.__all__:
+            assert hasattr(bench, name), f"repro.bench.__all__ lists {name} but it is missing"
+        assert callable(bench.run_selected)
+        assert callable(bench.compare_report)
+        assert len(bench.default_registry()) == 12

@@ -8,7 +8,7 @@ from repro.membership.churn import CatastrophicChurn, StaggeredChurn
 from repro.membership.join import FlashCrowdJoin
 from repro.membership.partners import INFINITE
 from repro.scenarios import build_scenario
-from repro.scenarios.spec import BandwidthClass, ScenarioSpec
+from repro.scenarios.spec import ScenarioSpec
 from repro.streaming.schedule import StreamConfig
 from repro.validation import ReproBundle, ScenarioFuzzer, spec_from_dict, spec_to_dict
 
