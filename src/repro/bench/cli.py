@@ -3,7 +3,10 @@
 Subcommands::
 
     run      execute registered benchmarks, optionally writing the report
-             (``--filter`` selects by substring of name or tag; repeatable)
+             (``--filter`` selects by substring of name or tag, accepts
+             comma-separated lists and exact ``tag:<name>`` patterns;
+             ``--profile`` additionally writes one cProfile pstats file
+             per benchmark under ``benchmarks/results/``)
     compare  gate a report against the committed baselines (exit 1 on a
              regression verdict; ``REPRO_BENCH_NO_GATE=1`` downgrades the
              failure to a warning for emergencies)
@@ -25,7 +28,7 @@ from typing import List, Optional, Sequence
 
 from repro.bench.baseline import BaselineStore, compare_report
 from repro.bench.report import BenchReport, ReportError
-from repro.bench.runner import BenchmarkSelectionError, run_selected
+from repro.bench.runner import DEFAULT_PROFILE_DIR, BenchmarkSelectionError, run_selected
 from repro.bench.spec import default_registry
 
 NO_GATE_ENV = "REPRO_BENCH_NO_GATE"
@@ -54,7 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="PATTERN",
-        help="substring of a benchmark name or tag; repeatable (default: all)",
+        help=(
+            "benchmark selector: substring of a name or tag, or tag:<name> for "
+            "an exact tag match; comma-separated lists and repeats both union "
+            "(default: all)"
+        ),
     )
     run.add_argument("--scale", default="smoke", help="experiment scale (default: smoke)")
     run.add_argument("--json", metavar="PATH", help="write the combined report to PATH")
@@ -77,6 +84,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline-dir", metavar="DIR", help="baseline root (default: benchmarks/baselines)"
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-benchmark progress")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run each benchmark under cProfile and write "
+            f"{DEFAULT_PROFILE_DIR}/PROFILE_<name>.pstats (timed metrics are "
+            "then not comparable to unprofiled baselines)"
+        ),
+    )
+    run.add_argument(
+        "--profile-dir",
+        metavar="DIR",
+        default=DEFAULT_PROFILE_DIR,
+        help=f"where --profile writes pstats files (default: {DEFAULT_PROFILE_DIR})",
+    )
 
     compare = commands.add_parser("compare", help="gate a report against the baselines")
     compare.add_argument("report", help="report file produced by `run --json`")
@@ -96,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="PATTERN",
-        help="substring of a benchmark name or tag; repeatable",
+        help="same selector syntax as `run --filter` (substrings, commas, tag:<name>)",
     )
     return parser
 
@@ -110,6 +132,7 @@ def _cmd_run(args) -> int:
         options=_parse_options(args.option),
         repeats_override=args.repeat,
         verbose=not args.quiet,
+        profile_dir=args.profile_dir if args.profile else None,
     )
     if args.json:
         path = report.write(args.json)

@@ -14,11 +14,16 @@ and the per-repeat metric dicts are combined per the metric spec —
 
 from __future__ import annotations
 
+import cProfile
 import time
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.bench.report import BenchmarkRecord, BenchReport, current_fingerprint
 from repro.bench.spec import Benchmark, BenchContext, BenchmarkRegistry
+
+DEFAULT_PROFILE_DIR = "benchmarks/results"
+"""Where ``run --profile`` drops its per-benchmark pstats files."""
 
 
 class BenchmarkRunError(RuntimeError):
@@ -63,18 +68,39 @@ def _combine_repeats(benchmark: Benchmark, repeats: List[Mapping[str, float]]) -
     return combined
 
 
-def run_benchmark(benchmark: Benchmark, ctx: BenchContext) -> BenchmarkRecord:
-    """Warm up, repeat, combine: one benchmark to one record."""
+def run_benchmark(
+    benchmark: Benchmark, ctx: BenchContext, profile_dir: Optional[str] = None
+) -> BenchmarkRecord:
+    """Warm up, repeat, combine: one benchmark to one record.
+
+    With ``profile_dir`` set, the timed repetitions (warmup excluded) run
+    under :mod:`cProfile` and the stats are written to
+    ``<profile_dir>/PROFILE_<name>.pstats`` — load them with
+    ``pstats.Stats`` or ``snakeviz`` to find the hot path.  Profiling slows
+    the run, so the record's timed metrics are not comparable to unprofiled
+    baselines; gate runs never profile.
+    """
     repeats = benchmark.repeats_for(ctx.scale_name)
     if repeats < 1:
         raise BenchmarkRunError(f"benchmark {benchmark.name!r} requests {repeats} repeats")
     if benchmark.warmup is not None:
         benchmark.warmup(ctx)
     samples: List[Mapping[str, float]] = []
+    profiler = cProfile.Profile() if profile_dir is not None else None
     started = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
     for _ in range(repeats):
         samples.append(dict(benchmark.run(ctx)))
+    if profiler is not None:
+        profiler.disable()
     wall_seconds = time.perf_counter() - started
+    if profiler is not None:
+        directory = Path(profile_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        stats_path = directory / f"PROFILE_{benchmark.name}.pstats"
+        profiler.dump_stats(stats_path)
+        ctx.log(f"    profile written to {stats_path}")
     record = BenchmarkRecord(
         benchmark=benchmark.name,
         metrics=_combine_repeats(benchmark, samples),
@@ -93,6 +119,7 @@ def run_selected(
     options: Optional[Dict[str, str]] = None,
     repeats_override: Optional[int] = None,
     verbose: bool = True,
+    profile_dir: Optional[str] = None,
 ) -> BenchReport:
     """Run every benchmark matching ``patterns`` and build one report."""
     selected = registry.select(patterns)
@@ -109,7 +136,7 @@ def run_selected(
 
             runnable = scaled(benchmark, repeats=repeats_override, smoke_repeats=repeats_override)
         ctx.log(f"[{runnable.name}] {runnable.description} (scale={scale_name})")
-        record = run_benchmark(runnable, ctx)
+        record = run_benchmark(runnable, ctx, profile_dir=profile_dir)
         for name in sorted(record.metrics):
             ctx.log(f"    {name} = {record.metrics[name]:,.6g}")
         ctx.log(f"    ({record.repeats} repeat(s), {record.wall_seconds:.2f}s)")

@@ -182,8 +182,17 @@ class Benchmark:
         raise KeyError(f"benchmark {self.name!r} declares no metric {name!r}")
 
     def matches(self, pattern: str) -> bool:
-        """Substring match against the name or any tag (``--filter``)."""
+        """One ``--filter`` pattern against this benchmark.
+
+        A plain pattern is a substring match against the name or any tag; a
+        ``tag:<name>`` pattern matches the tag *exactly* (so ``tag:figure``
+        selects the figure suite without also catching a benchmark whose
+        name merely contains "figure").
+        """
         needle = pattern.lower()
+        if needle.startswith("tag:"):
+            wanted = needle[len("tag:"):]
+            return any(tag.lower() == wanted for tag in self.tags)
         if needle in self.name.lower():
             return True
         return any(needle in tag.lower() for tag in self.tags)
@@ -227,13 +236,25 @@ class BenchmarkRegistry:
         return iter(self._benchmarks.values())
 
     def select(self, patterns: Sequence[str] = ()) -> List[Benchmark]:
-        """Benchmarks matching *any* pattern (all of them for no patterns)."""
-        if not patterns:
+        """Benchmarks matching *any* pattern (all of them for no patterns).
+
+        Each pattern may itself be a comma-separated list, so
+        ``--filter engine,codec`` and ``--filter engine --filter codec``
+        select the same set.  ``tag:<name>`` entries match tags exactly
+        (see :meth:`Benchmark.matches`).
+        """
+        expanded = [
+            part.strip()
+            for pattern in patterns
+            for part in pattern.split(",")
+            if part.strip()
+        ]
+        if not expanded:
             return list(self._benchmarks.values())
         selected = [
             benchmark
             for benchmark in self._benchmarks.values()
-            if any(benchmark.matches(pattern) for pattern in patterns)
+            if any(benchmark.matches(pattern) for pattern in expanded)
         ]
         return selected
 

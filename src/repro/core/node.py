@@ -26,7 +26,7 @@ called by the :class:`repro.streaming.StreamEmitter` for every packet, as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.membership.directory import MembershipDirectory
 from repro.membership.partners import INFINITE, PartnerSelector
@@ -199,7 +199,7 @@ class GossipNode:
     @property
     def now(self) -> float:
         """Current simulated time."""
-        return self._simulator.now
+        return self._simulator._clock._now  # flattened: read on every message
 
     @property
     def schedule(self) -> StreamSchedule:
@@ -315,6 +315,37 @@ class GossipNode:
             payload=payload,
         )
         self._network.send(message)
+
+    def send_many(self, datagrams: Sequence[Tuple[NodeId, str, int, object]]) -> None:
+        """Send several datagrams at this instant in one transport batch.
+
+        ``datagrams`` holds ``(receiver, kind, size_bytes, payload)`` tuples;
+        equivalent to calling :meth:`send` for each in order (the transport
+        batch preserves the per-message loss/latency draw order and delivery
+        scheduling), but the sender-side bookkeeping is amortized over the
+        burst.  Protocol fan-outs are the intended callers.
+        """
+        sender = self.node_id
+        self._network.send_many(
+            [
+                Message(sender=sender, receiver=receiver, kind=kind,
+                        size_bytes=size_bytes, payload=payload)
+                for receiver, kind, size_bytes, payload in datagrams
+            ]
+        )
+
+    def send_to_all(
+        self, targets: Sequence[NodeId], kind: str, size_bytes: int, payload: object
+    ) -> None:
+        """Fan one payload out to every target in a single transport batch."""
+        sender = self.node_id
+        self._network.send_many(
+            [
+                Message(sender=sender, receiver=target, kind=kind,
+                        size_bytes=size_bytes, payload=payload)
+                for target in targets
+            ]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         role = "source" if self.is_source else "node"

@@ -34,10 +34,36 @@ class MembershipDirectory:
     def __init__(self, detection_delay: float = 5.0) -> None:
         if detection_delay < 0.0:
             raise ValueError(f"detection_delay must be >= 0, got {detection_delay!r}")
-        self.detection_delay = float(detection_delay)
+        self._detection_delay = float(detection_delay)
         self._members: List[NodeId] = []
         self._member_set: set[NodeId] = set()
         self._failed_at: Dict[NodeId, float] = {}
+        # ``selectable`` cache.  Every node's partner selector calls
+        # ``selectable`` every gossip round, and the naive scan is O(members)
+        # — O(n²) work per round across the system, the dominant cost at
+        # 1,000 nodes.  The selectable set only changes when membership
+        # mutates (version bump) or when a crashed node crosses its
+        # detection deadline (the cache records the earliest such deadline),
+        # so between those instants the scan result is reused and per-node
+        # exclusion becomes two C-level list slices.
+        self._version = 0
+        self._cache_version = -1
+        self._cache_now = 0.0
+        self._cache_deadline = 0.0  # cache valid for now in [_cache_now, _cache_deadline)
+        self._cache_base: List[NodeId] = []
+        self._cache_index: Dict[NodeId, int] = {}
+
+    @property
+    def detection_delay(self) -> float:
+        """Seconds between a node's crash and its system-wide undetectability."""
+        return self._detection_delay
+
+    @detection_delay.setter
+    def detection_delay(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError(f"detection_delay must be >= 0, got {value!r}")
+        self._detection_delay = float(value)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Mutation
@@ -48,6 +74,7 @@ class MembershipDirectory:
             raise ValueError(f"node {node_id} is already a member")
         self._members.append(node_id)
         self._member_set.add(node_id)
+        self._version += 1
 
     def add_all(self, node_ids: Iterable[NodeId]) -> None:
         """Register several nodes at once."""
@@ -59,10 +86,12 @@ class MembershipDirectory:
         if node_id not in self._member_set:
             raise KeyError(f"node {node_id} is not a member")
         self._failed_at.setdefault(node_id, time)
+        self._version += 1
 
     def mark_recovered(self, node_id: NodeId) -> None:
         """Clear a failure record (the node is selectable again)."""
         self._failed_at.pop(node_id, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -94,16 +123,53 @@ class MembershipDirectory:
 
         A crashed node remains selectable until ``detection_delay`` seconds
         after its crash, then disappears from every node's candidate set.
+
+        The result is served from a cache keyed on the membership version
+        and the earliest pending detection deadline; exclusion is cut out of
+        the cached list by position, so the returned list is element-for-
+        element identical to a fresh scan (partner sampling consumes it in
+        order, so even the ordering is part of the determinism contract).
         """
-        result: List[NodeId] = []
-        for node_id in self._members:
-            if node_id == exclude:
-                continue
-            failed_time = self._failed_at.get(node_id)
-            if failed_time is not None and now >= failed_time + self.detection_delay:
-                continue
-            result.append(node_id)
-        return result
+        if (
+            self._cache_version != self._version
+            or now < self._cache_now
+            or now >= self._cache_deadline
+        ):
+            self._rebuild_selectable_cache(now)
+        base = self._cache_base
+        if exclude is None:
+            return base[:]
+        position = self._cache_index.get(exclude)
+        if position is None:
+            return base[:]
+        return base[:position] + base[position + 1 :]
+
+    def _rebuild_selectable_cache(self, now: float) -> None:
+        """Recompute the selectable base list and its validity window."""
+        detection_delay = self.detection_delay
+        failed_at = self._failed_at
+        base: List[NodeId] = []
+        index: Dict[NodeId, int] = {}
+        deadline = float("inf")
+        if failed_at:
+            for node_id in self._members:
+                failed_time = failed_at.get(node_id)
+                if failed_time is not None:
+                    detected_at = failed_time + detection_delay
+                    if now >= detected_at:
+                        continue
+                    if detected_at < deadline:
+                        deadline = detected_at
+                index[node_id] = len(base)
+                base.append(node_id)
+        else:
+            base = list(self._members)
+            index = {node_id: position for position, node_id in enumerate(base)}
+        self._cache_version = self._version
+        self._cache_now = now
+        self._cache_deadline = deadline
+        self._cache_base = base
+        self._cache_index = index
 
     def churn_candidates(self, protected: Iterable[NodeId] = ()) -> List[NodeId]:
         """Alive nodes eligible to be killed by a churn schedule.

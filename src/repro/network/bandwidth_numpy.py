@@ -1,0 +1,86 @@
+"""Vectorized serializing bandwidth limiter (numpy backend kernel).
+
+Companion to :meth:`repro.network.bandwidth.UploadLimiter.enqueue_many`:
+computes a whole burst's serialization chain with numpy while reproducing
+the scalar loop's floating-point results *bit for bit*.
+
+Exactness argument
+------------------
+The scalar chain is ``finish_i = max(now, busy_i) + size_i * 8.0 / rate``
+with ``busy_{i+1} = finish_i`` for accepted datagrams.  Once the first
+datagram of a burst is accepted, ``busy_i >= now`` for the rest of the
+burst, so the chain degenerates to a plain running sum — which
+``np.add.accumulate`` evaluates in the same left-to-right association as
+the python loop (ufunc ``accumulate`` is sequential, never pairwise).  The
+per-element serialization ``size * 8.0 / rate`` and the backlog test
+``max(0.0, prev - now) + ser > max_backlog`` use the same IEEE operations
+elementwise.  The kernel is *optimistic*: it assumes no datagram drops; if
+the drop mask fires anywhere (or any size fails validation), it returns
+``None`` and the caller re-runs the burst through the scalar loop, which
+then owns the partial-acceptance bookkeeping.  Congestion drops are rare
+by construction (the backlog has to exceed ten seconds of serialization),
+so the optimism almost always pays.
+
+This module is one of the two places allowed to import numpy (see the
+ruff ``banned-api`` guard in ``pyproject.toml``); it must stay importable
+— but inert — when numpy is absent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.simulation.backend import numpy_kernels_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.bandwidth import UploadLimiter
+
+
+def available() -> bool:
+    """Whether the vectorized kernel can run in this interpreter."""
+    return np is not None
+
+
+def enqueue_many_vectorized(
+    limiter: "UploadLimiter", sizes: Sequence[int], now: float
+) -> Optional[List[Optional[float]]]:
+    """Vectorized :meth:`UploadLimiter.enqueue_many` for capped links.
+
+    Returns the per-datagram finish times, or ``None`` when the kernel
+    declines (numpy absent or disabled, a drop would occur, or a size fails
+    validation) — the caller must then fall back to the scalar loop.
+    """
+    if np is None or not numpy_kernels_enabled():
+        return None
+    cap = limiter.cap
+    rate = cap.rate_bps
+    sizes_arr = np.asarray(sizes, dtype=np.float64)
+    if sizes_arr.ndim != 1 or sizes_arr.size == 0 or not np.all(sizes_arr > 0.0):
+        return None
+    serialization = sizes_arr * 8.0 / rate
+
+    busy = limiter._busy_until
+    first_start = busy if busy > now else now
+    chain = serialization.copy()
+    chain[0] += first_start
+    finishes = np.add.accumulate(chain)
+
+    previous_busy = np.empty_like(finishes)
+    previous_busy[0] = busy
+    previous_busy[1:] = finishes[:-1]
+    backlog = np.maximum(previous_busy - now, 0.0)
+    if np.any(backlog + serialization > cap.max_backlog_seconds):
+        return None
+
+    limiter._busy_until = float(finishes[-1])
+    total = 0
+    for size in sizes:
+        total += size
+    limiter.bytes_accepted += total
+    limiter.messages_accepted += len(sizes)
+    return [float(finish) for finish in finishes]

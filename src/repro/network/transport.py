@@ -255,8 +255,67 @@ class Network:
             return True
 
         delay = (finish_time - now) + self._latency.sample(sender, message.receiver)
-        self._simulator.schedule(delay, self._deliver, message)
+        # Deliveries are scheduled by the million and never cancelled:
+        # fire-and-forget scheduling skips the per-event handle allocation.
+        self._simulator.schedule_fire_and_forget(delay, self._deliver, message)
         return True
+
+    def send_many(self, messages: List[Message]) -> int:
+        """Send a same-sender burst offered at the current instant.
+
+        Exactly equivalent to calling :meth:`send` once per message in
+        order — same limiter serialization chain, same per-message loss and
+        latency draws (the RNG consumption order is preserved), same
+        delivery event ordering — but the sender endpoint is resolved once
+        and the upload limiter processes the burst through
+        :meth:`~repro.network.bandwidth.UploadLimiter.enqueue_many`.
+        Protocol fan-outs (PROPOSE to every partner, a SERVE burst answering
+        one request) are the intended callers.
+
+        Returns the number of datagrams accepted by the upload limiter.
+        """
+        if not messages:
+            return 0
+        if self._observers is not None:
+            # Observer edges must fire per datagram in the exact scalar
+            # interleaving; the batch fast path is for unobserved runs.
+            accepted = 0
+            for message in messages:
+                if self.send(message):
+                    accepted += 1
+            return accepted
+        sender = messages[0].sender
+        for message in messages:
+            if message.sender != sender:
+                raise ValueError(
+                    f"send_many requires a single sender, got {message.sender!r} "
+                    f"after {sender!r}"
+                )
+        endpoint = self._endpoints.get(sender)
+        if endpoint is None or not endpoint.alive:
+            return 0
+        now = self._simulator.now
+        finish_times = endpoint.limiter.enqueue_many(
+            [message.size_bytes for message in messages], now
+        )
+        stats = self.stats
+        loss = self._loss
+        latency_sample = self._latency.sample
+        schedule = self._simulator.schedule_fire_and_forget
+        deliver = self._deliver
+        accepted = 0
+        for message, finish_time in zip(messages, finish_times):
+            if finish_time is None:
+                stats.record_congestion_drop(sender, message.kind, message.size_bytes)
+                continue
+            accepted += 1
+            stats.record_sent(sender, message.kind, message.size_bytes)
+            if loss.is_lost(message):
+                stats.record_in_flight_loss(sender, message.kind, message.size_bytes)
+                continue
+            delay = (finish_time - now) + latency_sample(sender, message.receiver)
+            schedule(delay, deliver, message)
+        return accepted
 
     def _deliver(self, message: Message) -> None:
         receiver = message.receiver

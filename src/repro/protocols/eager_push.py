@@ -63,10 +63,9 @@ class EagerPush(DisseminationProtocol):
         served = ServedPacket(packet_id=packet_id, size_bytes=descriptor.size_bytes)
         payload = ServePayload(packet=served)
         size = host.config.sizes.serve_size(descriptor.size_bytes)
-        for target in targets:
-            host.send(target, PUSH, size, payload)
-            host.stats.serves_sent += 1
-            host.stats.packets_served += 1
+        host.send_to_all(targets, PUSH, size, payload)
+        host.stats.serves_sent += len(targets)
+        host.stats.packets_served += len(targets)
 
     # ------------------------------------------------------------------
     # Message handling

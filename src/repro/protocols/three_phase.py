@@ -56,8 +56,7 @@ class ThreePhaseGossip(DisseminationProtocol):
             return
         payload = ProposePayload(packet_ids=(descriptor.packet_id,))
         size = host.config.sizes.propose_size(1)
-        for target in targets:
-            host.send(target, PROPOSE, size, payload)
+        host.send_to_all(targets, PROPOSE, size, payload)
         host.stats.proposes_sent += len(targets)
 
     # ------------------------------------------------------------------
@@ -70,9 +69,8 @@ class ThreePhaseGossip(DisseminationProtocol):
             return
         payload = ProposePayload(packet_ids=tuple(packet_ids))
         size = host.config.sizes.propose_size(len(packet_ids))
-        for target in partners:
-            host.send(target, PROPOSE, size, payload)
-            host.stats.proposes_sent += 1
+        host.send_to_all(partners, PROPOSE, size, payload)
+        host.stats.proposes_sent += len(partners)
 
     # ------------------------------------------------------------------
     # Feed-me round (the Y mechanism, sending side)
@@ -81,9 +79,8 @@ class ThreePhaseGossip(DisseminationProtocol):
         host = self.host
         payload = FeedMePayload(requester=host.node_id)
         size = host.config.sizes.feed_me_size()
-        for target in targets:
-            host.send(target, FEED_ME, size, payload)
-            host.stats.feed_me_sent += 1
+        host.send_to_all(targets, FEED_ME, size, payload)
+        host.stats.feed_me_sent += len(targets)
 
     # ------------------------------------------------------------------
     # Message handling
@@ -107,15 +104,19 @@ class ThreePhaseGossip(DisseminationProtocol):
     def _handle_propose(self, sender: NodeId, payload: ProposePayload) -> None:
         host = self.host
         host.stats.proposals_received += 1
+        state = host.state
+        has_delivered = state.has_delivered
+        never_requested = state.never_requested
         wanted: List[PacketId] = []
         for packet_id in payload.packet_ids:
-            if host.state.has_delivered(packet_id):
+            if has_delivered(packet_id):
                 continue
-            if host.state.never_requested(packet_id):
+            if never_requested(packet_id):
                 wanted.append(packet_id)
         if wanted:
+            record_request = state.record_request
             for packet_id in wanted:
-                host.state.record_request(packet_id)
+                record_request(packet_id)
             self._send_request(sender, wanted)
 
         if host.config.retransmission_enabled:
@@ -168,15 +169,21 @@ class ThreePhaseGossip(DisseminationProtocol):
     def _handle_request(self, sender: NodeId, payload: RequestPayload) -> None:
         host = self.host
         host.stats.requests_received += 1
+        has_delivered = host.state.has_delivered
+        packet_of = host.schedule.packet
+        serve_size = host.config.sizes.serve_size
+        burst: List[Tuple[NodeId, str, int, object]] = []
         for packet_id in payload.packet_ids:
-            if not host.state.has_delivered(packet_id):
+            if not has_delivered(packet_id):
                 continue
-            descriptor = host.schedule.packet(packet_id)
+            descriptor = packet_of(packet_id)
             served = ServedPacket(packet_id=packet_id, size_bytes=descriptor.size_bytes)
-            size = host.config.sizes.serve_size(descriptor.size_bytes)
-            host.send(sender, SERVE, size, ServePayload(packet=served))
-            host.stats.serves_sent += 1
-            host.stats.packets_served += 1
+            size = serve_size(descriptor.size_bytes)
+            burst.append((sender, SERVE, size, ServePayload(packet=served)))
+        if burst:
+            host.send_many(burst)
+            host.stats.serves_sent += len(burst)
+            host.stats.packets_served += len(burst)
 
     def _handle_serve(self, sender: NodeId, payload: ServePayload) -> None:
         host = self.host

@@ -15,8 +15,19 @@ The kernel is deliberately small and dependency-free:
   by the gossip protocol (gossip period, retransmission timers).
 * :class:`RngRegistry` — named, deterministically derived random streams so
   that every experiment is reproducible from a single seed.
+
+The dispatch loop behind :meth:`Simulator.run` is pluggable: see
+:mod:`repro.simulation.backend` for the scalar oracle, the batched fast
+path, and the ``REPRO_BACKEND`` selection rules.
 """
 
+from repro.simulation.backend import (
+    BACKEND_ENV,
+    SimulationBackend,
+    numpy_available,
+    resolve_backend,
+    resolve_backend_name,
+)
 from repro.simulation.clock import SimulationClock
 from repro.simulation.errors import SimulationError, SimulationTimeError
 from repro.simulation.event_queue import EventHandle, EventQueue, ScheduledEvent
@@ -25,15 +36,20 @@ from repro.simulation.rng import RngRegistry, derive_seed
 from repro.simulation.timers import PeriodicTimer, Timer
 
 __all__ = [
+    "BACKEND_ENV",
     "EventHandle",
     "EventQueue",
     "PeriodicTimer",
     "RngRegistry",
     "ScheduledEvent",
+    "SimulationBackend",
     "SimulationClock",
     "SimulationError",
     "SimulationTimeError",
     "Simulator",
     "Timer",
     "derive_seed",
+    "numpy_available",
+    "resolve_backend",
+    "resolve_backend_name",
 ]

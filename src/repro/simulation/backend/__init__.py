@@ -1,0 +1,127 @@
+"""Pluggable simulation backends: the scalar oracle and the batched fast path.
+
+The simulator's inner loop — pop the next event, advance the clock, run the
+callback — is factored behind a tiny interface so two implementations can
+share everything else (queue, clock, RNG streams, observers):
+
+``python`` — :class:`~repro.simulation.backend.scalar.ScalarBackend`
+    The original per-event dispatch loop, kept verbatim.  This is the pinned
+    correctness oracle: every other backend must produce byte-identical
+    results (PointSummary, delivery logs, RNG draw order) against it.
+
+``numpy`` — :class:`~repro.simulation.backend.batched.BatchedBackend`
+    The batched fast path.  Events are drained through
+    :meth:`~repro.simulation.event_queue.EventQueue.pop_batch` and dispatched
+    from a tight merged loop that preserves the ``(time, sequence)`` total
+    order; the GF(256) codec and the serializing bandwidth limiter
+    additionally switch to vectorized numpy kernels
+    (:mod:`repro.streaming.gf256_numpy`, :mod:`repro.network.bandwidth_numpy`).
+    Requires numpy for the kernel half; the dispatch half is pure python, so
+    when numpy is absent the backend silently degrades to ``python``.
+
+Selection
+---------
+The backend is chosen per :class:`~repro.simulation.engine.Simulator` at
+construction time, from (in priority order) the explicit ``backend=``
+constructor argument, the ``REPRO_BACKEND`` environment variable
+(``numpy`` | ``python`` | ``auto``), or the default ``auto`` — which picks
+``numpy`` whenever numpy is importable and falls back to pure python
+otherwise.  The same resolution drives the standalone numpy kernels, so
+``REPRO_BACKEND=python`` pins the entire process to the pure-python oracle.
+
+Observers and equivalence
+-------------------------
+With dispatch observers armed (:meth:`Simulator.add_observer`) or an event
+budget set (``max_events``), the batched backend routes through the scalar
+loop: observer edges fire once per logical event with exactly the oracle's
+timing, so the validation layer (PR 4) sees an identical trace regardless of
+backend.  The equivalence property suite
+(``tests/properties/test_backend_equivalence.py``) runs every registered
+scenario under both backends and asserts identical ``PointSummary`` records.
+"""
+
+from __future__ import annotations
+
+import os
+from importlib import util as _importlib_util
+from typing import Optional, Protocol, Union, runtime_checkable
+
+BACKEND_ENV = "REPRO_BACKEND"
+"""Environment variable selecting the default backend (``numpy``/``python``/``auto``)."""
+
+BACKEND_NAMES = ("python", "numpy")
+"""The two concrete backends, in oracle-first order."""
+
+_numpy_available: Optional[bool] = None
+
+
+@runtime_checkable
+class SimulationBackend(Protocol):
+    """The backend interface: a named event-dispatch loop.
+
+    ``run_loop`` drives the simulator until the queue is exhausted, ``until``
+    is reached, or ``max_events`` events ran; it returns the number of events
+    executed.  The caller (:meth:`Simulator.run`) owns the re-entrancy guard
+    and the final clock advance to ``until``.
+    """
+
+    name: str
+
+    def run_loop(self, simulator, until: Optional[float], max_events: Optional[int]) -> int:
+        """Execute due events in ``(time, sequence)`` order; return the count."""
+        ...
+
+
+def numpy_available() -> bool:
+    """Whether numpy can be imported in this interpreter (cached probe)."""
+    global _numpy_available
+    if _numpy_available is None:
+        _numpy_available = _importlib_util.find_spec("numpy") is not None
+    return _numpy_available
+
+
+def resolve_backend_name(requested: Optional[str] = None) -> str:
+    """Resolve a backend request to a concrete name (``python`` or ``numpy``).
+
+    ``requested`` falls back to ``$REPRO_BACKEND``, then to ``auto``.
+    ``numpy`` and ``auto`` degrade to ``python`` when numpy is absent —
+    the documented auto-fallback that keeps no-numpy environments working.
+    """
+    name = requested if requested is not None else os.environ.get(BACKEND_ENV) or "auto"
+    name = name.strip().lower()
+    if name == "auto":
+        return "numpy" if numpy_available() else "python"
+    if name == "numpy":
+        return "numpy" if numpy_available() else "python"
+    if name == "python":
+        return "python"
+    raise ValueError(
+        f"unknown simulation backend {name!r}; expected one of "
+        f"{BACKEND_NAMES + ('auto',)!r}"
+    )
+
+
+def resolve_backend(
+    requested: Union[None, str, SimulationBackend] = None,
+) -> SimulationBackend:
+    """Return a backend instance for ``requested`` (name, instance, or None)."""
+    if requested is not None and not isinstance(requested, str):
+        return requested
+    name = resolve_backend_name(requested)
+    if name == "numpy":
+        from repro.simulation.backend.batched import BatchedBackend
+
+        return BatchedBackend()
+    from repro.simulation.backend.scalar import ScalarBackend
+
+    return ScalarBackend()
+
+
+def numpy_kernels_enabled() -> bool:
+    """Whether the standalone numpy kernels (codec, limiter) should engage.
+
+    Follows the same resolution as the dispatch loop so one environment
+    variable pins the whole process: ``REPRO_BACKEND=python`` disables every
+    numpy kernel, anything else enables them whenever numpy is importable.
+    """
+    return resolve_backend_name() == "numpy"

@@ -1,0 +1,39 @@
+"""The scalar dispatch loop — the pinned correctness oracle.
+
+This is the original :meth:`Simulator.run` body, moved verbatim behind the
+backend interface.  One event per iteration: peek, bounds-check, ``step()``.
+Every other backend is pinned byte-identical against this loop (PointSummary
+and delivery logs) by the equivalence property suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def scalar_run_loop(simulator, until: Optional[float], max_events: Optional[int]) -> int:
+    """The oracle loop, callable by any backend that needs exact per-event
+    semantics (observers armed, event budgets)."""
+    queue = simulator._queue
+    step = simulator.step
+    executed = 0
+    while True:
+        if max_events is not None and executed >= max_events:
+            break
+        next_time = queue.peek_time()
+        if next_time is None:
+            break
+        if until is not None and next_time > until:
+            break
+        step()
+        executed += 1
+    return executed
+
+
+class ScalarBackend:
+    """Per-event dispatch, exactly as the simulator has always run."""
+
+    name = "python"
+
+    def run_loop(self, simulator, until: Optional[float], max_events: Optional[int]) -> int:
+        return scalar_run_loop(simulator, until, max_events)

@@ -24,8 +24,9 @@ event — measured in ``benchmarks/bench_observer_overhead.py``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Union
 
+from repro.simulation.backend import SimulationBackend, resolve_backend
 from repro.simulation.clock import SimulationClock
 from repro.simulation.errors import SimulationStateError, SimulationTimeError
 from repro.simulation.event_queue import EventCallback, EventHandle, EventQueue
@@ -45,14 +46,27 @@ class Simulator:
         descends from this seed, making runs reproducible.
     start_time:
         Initial simulated time (seconds).
+    backend:
+        Which dispatch loop drives :meth:`run`: a backend name
+        (``"python"``/``"numpy"``/``"auto"``), a
+        :class:`~repro.simulation.backend.SimulationBackend` instance, or
+        ``None`` to resolve from ``$REPRO_BACKEND`` (default ``auto``).
+        Every backend is pinned byte-identical to the ``python`` oracle;
+        see :mod:`repro.simulation.backend`.
     """
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        start_time: float = 0.0,
+        backend: Union[None, str, SimulationBackend] = None,
+    ) -> None:
         self._clock = SimulationClock(start_time)
         self._queue = EventQueue()
         self._rng = RngRegistry(seed)
         self._running = False
         self._events_processed = 0
+        self._backend = resolve_backend(backend)
         # ``None`` (not an empty list) when nobody watches: the dispatch hot
         # path then pays exactly one attribute load + identity test per event.
         self._observers: Optional[List[Any]] = None
@@ -63,7 +77,7 @@ class Simulator:
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self._clock.now
+        return self._clock._now  # flattened: this property is read per send
 
     @property
     def rng(self) -> RngRegistry:
@@ -74,6 +88,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Total number of events executed so far (for diagnostics/limits)."""
         return self._events_processed
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the dispatch backend driving :meth:`run`."""
+        return self._backend.name
 
     @property
     def pending_events(self) -> int:
@@ -100,6 +119,18 @@ class Simulator:
                 f"cannot schedule at {time!r}, which is before now ({self._clock.now!r})"
             )
         return self._queue.push(time, callback, *args)
+
+    def schedule_fire_and_forget(self, delay: float, callback: EventCallback, *args: Any) -> None:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now, uncancellably.
+
+        Like :meth:`schedule` but returns no handle and allocates none: every
+        fire-and-forget event shares one never-cancelled sentinel.  Used on
+        the hottest scheduling path (datagram deliveries, which are scheduled
+        by the million and never cancelled).
+        """
+        if delay < 0.0:
+            raise SimulationTimeError(f"cannot schedule with negative delay {delay!r}")
+        self._queue.push_unhandled(self._clock.now + delay, callback, *args)
 
     def cancel(self, handle: Optional[EventHandle]) -> None:
         """Cancel a previously scheduled event.  ``None`` is accepted and ignored."""
@@ -164,22 +195,16 @@ class Simulator:
         -------
         int
             The number of events executed by this call.
+
+        The dispatch loop itself lives in the configured backend
+        (:mod:`repro.simulation.backend`); this method owns the re-entrancy
+        guard and the final clock advance, which are backend-independent.
         """
         if self._running:
             raise SimulationStateError("Simulator.run() called re-entrantly from an event")
         self._running = True
-        executed = 0
         try:
-            while True:
-                if max_events is not None and executed >= max_events:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                executed += 1
+            executed = self._backend.run_loop(self, until, max_events)
         finally:
             self._running = False
         if until is not None and self._clock.now < until:

@@ -19,13 +19,26 @@ report back, making ``len()`` O(1) — and **compacts** the heap (filters the
 dead entries out and re-heapifies) once they outnumber the live ones.
 Compaction never changes pop order: the heap order is the *total* order
 ``(time, sequence)``, so rebuilding from any subset pops identically.
+
+Heap entries are :class:`ScheduledEvent` named tuples.  The sequence number
+is unique per queue, so tuple comparison always resolves within the
+``(time, sequence)`` prefix — the callback is never compared — and the
+millions of comparisons a long session performs run entirely in C instead
+of a Python-level ``__lt__``.
+
+Two bulk operations exist for the batched simulation backend
+(:mod:`repro.simulation.backend`): :meth:`EventQueue.pop_batch` pops a run
+of live events in one call while preserving the total order and the live
+counter, and :meth:`EventQueue.push_unhandled` schedules fire-and-forget
+events (datagram deliveries are never cancelled) without allocating a
+cancellation handle.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, NamedTuple, Optional
 
 from repro.simulation.errors import SimulationTimeError
 
@@ -60,26 +73,36 @@ class EventHandle:
         return self._cancelled
 
 
-@dataclass(order=True, slots=True)
-class ScheduledEvent:
-    """Internal heap entry pairing a handle with its callback."""
+#: Shared handle for fire-and-forget events.  It is never exposed to callers
+#: and can never be cancelled, so one instance serves every unhandled event.
+_NEVER_CANCELLED = EventHandle(time=-1.0, sequence=-1)
+
+
+class ScheduledEvent(NamedTuple):
+    """Internal heap entry pairing a handle with its callback.
+
+    A named tuple so heap comparisons are plain C tuple comparisons; the
+    unique ``sequence`` guarantees ordering resolves before the
+    non-comparable ``callback`` field is ever reached.
+    """
 
     time: float
     sequence: int
-    callback: EventCallback = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    handle: EventHandle = field(compare=False, default=None)  # type: ignore[assignment]
+    callback: EventCallback
+    args: tuple = ()
+    handle: EventHandle = None  # type: ignore[assignment]
 
 
 class EventQueue:
     """A deterministic, cancellable min-heap of :class:`ScheduledEvent`."""
 
-    __slots__ = ("_heap", "_sequence", "_dead")
+    __slots__ = ("_heap", "_sequence", "_dead", "_epoch")
 
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._sequence = 0
         self._dead = 0  # cancelled entries still buried in the heap
+        self._epoch = 0  # bumped by clear(); lets bulk dispatch loops abort
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events still queued.  O(1)."""
@@ -100,17 +123,26 @@ class EventQueue:
         """
         if time < 0.0:
             raise SimulationTimeError(f"cannot schedule event at negative time {time!r}")
+        time = float(time)
         handle = EventHandle(time=time, sequence=self._sequence, _queue=self)
-        event = ScheduledEvent(
-            time=time,
-            sequence=self._sequence,
-            callback=callback,
-            args=args,
-            handle=handle,
-        )
+        event = ScheduledEvent(time, self._sequence, callback, args, handle)
         self._sequence += 1
         heapq.heappush(self._heap, event)
         return handle
+
+    def push_unhandled(self, time: float, callback: EventCallback, *args: Any) -> None:
+        """Schedule a fire-and-forget event that can never be cancelled.
+
+        Identical pop order to :meth:`push` (same sequence counter), but no
+        per-event :class:`EventHandle` is allocated: every entry shares one
+        never-cancelled sentinel.  Used for the transport's datagram
+        deliveries, which are scheduled by the million and never cancelled.
+        """
+        if time < 0.0:
+            raise SimulationTimeError(f"cannot schedule event at negative time {time!r}")
+        event = ScheduledEvent(float(time), self._sequence, callback, args, _NEVER_CANCELLED)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
 
     def peek_time(self) -> float | None:
         """Timestamp of the next live event, or ``None`` if the queue is empty."""
@@ -129,6 +161,36 @@ class EventQueue:
         # already-executed) event must not corrupt the dead-entry counter.
         event.handle._queue = None
         return event
+
+    def pop_batch(self, until: float | None = None, limit: int | None = None) -> List[ScheduledEvent]:
+        """Remove and return a run of live events in ``(time, sequence)`` order.
+
+        Pops every live event with ``time <= until`` (all of them when
+        ``until`` is ``None``), up to ``limit`` entries per call.  Exactly
+        equivalent to repeated :meth:`pop` calls: cancelled entries are
+        discarded (maintaining the O(1) live counter) and every returned
+        event's handle is detached, so a cancel() issued *while the batch is
+        being executed* marks the handle without touching the queue — the
+        dispatch loop re-checks ``handle.cancelled`` per event.
+        """
+        self._discard_cancelled()
+        heap = self._heap
+        batch: List[ScheduledEvent] = []
+        append = batch.append
+        pop = heapq.heappop
+        remaining = len(heap) if limit is None else limit
+        while heap and remaining > 0:
+            if until is not None and heap[0].time > until:
+                break
+            event = pop(heap)
+            handle = event.handle
+            if handle._cancelled:
+                self._dead -= 1
+                continue
+            handle._queue = None
+            append(event)
+            remaining -= 1
+        return batch
 
     def _discard_cancelled(self) -> None:
         heap = self._heap
@@ -151,8 +213,12 @@ class EventQueue:
         """
         if self._dead == 0:
             return
-        self._heap = [event for event in self._heap if not event.handle.cancelled]
-        heapq.heapify(self._heap)
+        # In-place rebuild: dispatch loops hold a direct reference to the
+        # heap list across callbacks (and a callback can trigger compaction
+        # via cancel), so the list object's identity must never change.
+        heap = self._heap
+        heap[:] = [event for event in heap if not event.handle.cancelled]
+        heapq.heapify(heap)
         self._dead = 0
 
     def clear(self) -> None:
@@ -161,3 +227,4 @@ class EventQueue:
             event.handle._queue = None
         self._heap.clear()
         self._dead = 0
+        self._epoch += 1

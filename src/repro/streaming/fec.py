@@ -88,6 +88,41 @@ class ReedSolomonCode:
         """Return the full codeword: the data shards followed by parity shards."""
         return list(data) + self.encode(data)
 
+    def encode_batch(self, windows: Sequence[Sequence[bytes]]) -> List[List[bytes]]:
+        """Compute parity shards for many windows in one matrix pass.
+
+        Every window shares the same generator matrix, and GF(256) scaling
+        acts on each byte position independently — so concatenating shard
+        ``j`` of every window into one long shard and multiplying once is
+        byte-identical to ``[self.encode(w) for w in windows]`` while paying
+        the per-call overhead (big-int conversions, or the numpy kernel
+        dispatch once the stacked size crosses its threshold) once per
+        *batch* instead of once per window.
+
+        Windows whose shard lengths differ from each other fall back to
+        per-window encoding; within each window the usual equal-length rule
+        applies.
+        """
+        for data in windows:
+            self._check_data_shards(data)
+        if not windows:
+            return []
+        if self.parity_shards == 0:
+            return [[] for _ in windows]
+        lengths = {len(shard) for data in windows for shard in data}
+        if len(lengths) != 1:
+            return [self.encode(data) for data in windows]
+        length = lengths.pop()
+        stacked = [
+            b"".join(bytes(window[j]) for window in windows)
+            for j in range(self.data_shards)
+        ]
+        parity_rows = self._cauchy.multiply_vector_bytes(stacked)
+        return [
+            [row[w * length : (w + 1) * length] for row in parity_rows]
+            for w in range(len(windows))
+        ]
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------

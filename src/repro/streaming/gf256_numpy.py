@@ -1,0 +1,74 @@
+"""Vectorized GF(256) matrix-vector kernels (numpy codec backend).
+
+The scalar fast path in :meth:`repro.streaming.gf256.Matrix.multiply_vector_bytes`
+scales each shard through a per-coefficient 256-byte ``bytes.translate``
+table and XOR-accumulates big integers.  This module does the same
+arithmetic on ``uint8`` arrays: the 256 translate tables stacked into one
+``(256, 256)`` lookup matrix turn *all* coefficient scalings into a single
+fancy-indexing operation, and the accumulation becomes
+``np.bitwise_xor.reduce``.  Both are exact table lookups and bitwise XOR —
+there is no floating point anywhere — so the output is byte-identical to
+the scalar paths by construction (pinned by the codec property tests).
+
+This module is one of the two places allowed to import numpy (see the ruff
+``banned-api`` guard in ``pyproject.toml``); it must stay importable — but
+inert — when numpy is absent, and every caller must fall back to the
+pure-python path when :func:`matrix_multiply_vector` returns ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.simulation.backend import numpy_kernels_enabled
+
+_MUL_MATRIX = None
+
+
+def available() -> bool:
+    """Whether the vectorized kernels can run in this interpreter."""
+    return np is not None
+
+
+def _mul_matrix():
+    """The ``(256, 256)`` uint8 product table: ``table[c, x] = c · x``.
+
+    Built lazily from the scalar module's translate tables, so both paths
+    share one source of arithmetic truth.
+    """
+    global _MUL_MATRIX
+    if _MUL_MATRIX is None:
+        from repro.streaming.gf256 import _MUL_TABLE
+
+        _MUL_MATRIX = np.frombuffer(b"".join(_MUL_TABLE), dtype=np.uint8).reshape(256, 256)
+    return _MUL_MATRIX
+
+
+def matrix_multiply_vector(
+    rows: Sequence[Sequence[int]], shards: Sequence[bytes]
+) -> Optional[List[bytes]]:
+    """Vectorized ``matrix @ shards`` over GF(256).
+
+    ``rows`` holds the coefficient rows, ``shards`` one equal-length byte
+    vector per matrix column; returns one byte vector per matrix row —
+    byte-identical to both scalar implementations.  Returns ``None`` when
+    the kernel is unavailable or disabled (numpy absent, or the process is
+    pinned to the pure-python backend), in which case the caller must use
+    the scalar path.
+    """
+    if np is None or not numpy_kernels_enabled():
+        return None
+    length = len(shards[0])
+    data = np.frombuffer(b"".join(shards), dtype=np.uint8).reshape(len(shards), length)
+    coefficients = np.asarray(rows, dtype=np.uint8)
+    table = _mul_matrix()
+    # One fancy-index gather scales every (row, shard) pair at once:
+    # scaled[i, j, :] = table[rows[i][j], shards[j]] = rows[i][j] · shards[j].
+    scaled = table[coefficients[:, :, None], data[None, :, :]]
+    accumulated = np.bitwise_xor.reduce(scaled, axis=1)
+    return [accumulated[index].tobytes() for index in range(accumulated.shape[0])]

@@ -59,6 +59,28 @@ class TestRegistry:
         assert len(registry.select([])) == 2
         assert registry.select(["nothing"]) == []
 
+    def test_comma_separated_patterns_union(self):
+        registry = BenchmarkRegistry()
+        registry.register(counting_benchmark([{}], name="alpha-engine", tags=("hot",)))
+        registry.register(counting_benchmark([{}], name="beta", tags=("figures",)))
+        registry.register(counting_benchmark([{}], name="gamma", tags=()))
+        assert [b.name for b in registry.select(["engine,beta"])] == ["alpha-engine", "beta"]
+        # Whitespace around commas is forgiven; empty fragments are ignored.
+        assert [b.name for b in registry.select([" engine , gamma ,"])] == [
+            "alpha-engine",
+            "gamma",
+        ]
+
+    def test_tag_prefix_matches_tags_exactly(self):
+        registry = BenchmarkRegistry()
+        registry.register(counting_benchmark([{}], name="figure-ish", tags=("other",)))
+        registry.register(counting_benchmark([{}], name="real", tags=("figure",)))
+        registry.register(counting_benchmark([{}], name="wide", tags=("figure-wide",)))
+        # Plain substring catches all three; tag: catches only the exact tag.
+        assert len(registry.select(["figure"])) == 3
+        assert [b.name for b in registry.select(["tag:figure"])] == ["real"]
+        assert [b.name for b in registry.select(["tag:figure,wide"])] == ["real", "wide"]
+
     def test_default_suite_registers_all_twelve(self):
         from repro.bench import default_registry
 
@@ -120,6 +142,24 @@ class TestRepeatHarness:
         )
         run_benchmark(benchmark, BenchContext("reduced", verbose=False))
         assert calls == ["warmup", "run", "run", "run"]
+
+    def test_profile_dir_writes_loadable_pstats(self, tmp_path):
+        import pstats
+
+        benchmark = counting_benchmark([{"det": 1.0, "best_high": 1.0, "best_low": 1.0}])
+        record = run_benchmark(
+            benchmark, BenchContext("smoke", verbose=False), profile_dir=str(tmp_path)
+        )
+        assert record.metrics["det"] == 1.0
+        stats_path = tmp_path / "PROFILE_count.pstats"
+        assert stats_path.exists()
+        pstats.Stats(str(stats_path))  # parses as a valid profile dump
+
+    def test_no_profile_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        benchmark = counting_benchmark([{"det": 1.0, "best_high": 1.0, "best_low": 1.0}])
+        run_benchmark(benchmark, BenchContext("smoke", verbose=False))
+        assert list(tmp_path.rglob("*.pstats")) == []
 
 
 class TestRunSelected:

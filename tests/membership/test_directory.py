@@ -113,3 +113,71 @@ class TestChurnCandidates:
         directory.add_all(range(5))
         directory.mark_failed(3, time=1.0)
         assert 3 not in directory.churn_candidates()
+
+
+class TestSelectableCache:
+    """The selectable() cache must be invisible: every call returns exactly
+    what a fresh scan would, through every invalidation edge (membership
+    mutation, detection deadlines crossing, time moving backwards)."""
+
+    @staticmethod
+    def _fresh_scan(directory, now, exclude=None):
+        """The pre-cache reference implementation."""
+        result = []
+        for node_id in directory.members():
+            if node_id == exclude:
+                continue
+            failed = directory.failed_at(node_id)
+            if failed is not None and now >= failed + directory.detection_delay:
+                continue
+            result.append(node_id)
+        return result
+
+    def _assert_matches_scan(self, directory, now, excludes):
+        for exclude in excludes:
+            assert directory.selectable(now, exclude) == self._fresh_scan(
+                directory, now, exclude
+            ), (now, exclude)
+
+    def test_cache_tracks_every_mutation_and_deadline(self):
+        directory = MembershipDirectory(detection_delay=5.0)
+        directory.add_all(range(8))
+        excludes = [None, 0, 3, 7, 99]  # 99: excluding a non-member is a no-op
+        self._assert_matches_scan(directory, 0.0, excludes)
+        self._assert_matches_scan(directory, 0.0, excludes)  # cached hit
+
+        directory.mark_failed(2, time=1.0)
+        directory.mark_failed(5, time=2.0)
+        for now in (1.0, 3.0, 5.999, 6.0, 6.5, 7.0, 10.0):  # crosses both deadlines
+            self._assert_matches_scan(directory, now, excludes)
+
+        directory.mark_recovered(2)
+        self._assert_matches_scan(directory, 10.0, excludes)
+        directory.add(8)
+        self._assert_matches_scan(directory, 10.0, excludes + [8])
+
+    def test_time_moving_backwards_invalidates(self):
+        # Two nodes asking at slightly different times within one round go
+        # through selectable() with non-monotonic `now` values.
+        directory = MembershipDirectory(detection_delay=4.0)
+        directory.add_all(range(5))
+        directory.mark_failed(1, time=0.0)
+        assert directory.selectable(5.0) == self._fresh_scan(directory, 5.0)  # 1 detected
+        assert directory.selectable(3.0) == self._fresh_scan(directory, 3.0)  # 1 visible again
+
+    def test_detection_delay_change_invalidates(self):
+        directory = MembershipDirectory(detection_delay=100.0)
+        directory.add_all(range(4))
+        directory.mark_failed(0, time=0.0)
+        assert 0 in directory.selectable(50.0)
+        directory.detection_delay = 10.0
+        assert 0 not in directory.selectable(50.0)
+
+    def test_exclusion_preserves_order_and_content(self):
+        directory = MembershipDirectory(detection_delay=5.0)
+        directory.add_all([10, 20, 30, 40])
+        directory.mark_failed(20, time=0.0)
+        assert directory.selectable(1.0, exclude=30) == [10, 20, 40]
+        assert directory.selectable(10.0, exclude=30) == [10, 40]
+        # The exclusion copy must not leak into the cached base list.
+        assert directory.selectable(10.0) == [10, 30, 40]

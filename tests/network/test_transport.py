@@ -173,3 +173,141 @@ class TestNetworkConfig:
         )
         lossy = NetworkConfig(random_loss=1.0).build_loss(rng)
         assert lossy.is_lost(Message(sender=0, receiver=1, kind="x", size_bytes=1))
+
+
+class TestSendMany:
+    """`send_many` must be indistinguishable from calling `send` per message
+    in order: same limiter chain, same RNG draw order (loss then latency per
+    message), same delivery times and stats."""
+
+    @staticmethod
+    def _build(seed):
+        from repro.network.latency import PerNodeQualityLatency
+        from repro.simulation.engine import Simulator
+
+        simulator = Simulator(seed=seed)
+        rng = RngRegistry(seed)
+        network = Network(
+            simulator,
+            latency_model=PerNodeQualityLatency(rng, list(range(5)), base=0.05),
+            loss_model=UniformLoss(rng, probability=0.2),
+        )
+        recorders = {}
+        for node in range(5):
+            recorder = Recorder(simulator)
+            recorders[node] = recorder
+            cap = BandwidthCap(rate_bps=700_000.0) if node == 0 else BandwidthCap.unlimited()
+            network.register(node, recorder, cap=cap)
+        return simulator, network, recorders
+
+    @staticmethod
+    def _burst():
+        return [
+            Message(sender=0, receiver=1 + (i % 4), kind="serve", size_bytes=400 + 37 * i)
+            for i in range(30)
+        ]
+
+    @staticmethod
+    def _trace(recorders):
+        return {
+            node: [(m.size_bytes, m.receiver, t) for m, t in recorder.received]
+            for node, recorder in recorders.items()
+        }
+
+    def test_matches_sequential_send(self):
+        sim_a, net_a, rec_a = self._build(seed=9)
+        accepted_a = sum(net_a.send(m) for m in self._burst())
+        sim_a.run_until_idle()
+
+        sim_b, net_b, rec_b = self._build(seed=9)
+        accepted_b = net_b.send_many(self._burst())
+        sim_b.run_until_idle()
+
+        assert accepted_b == accepted_a
+        assert self._trace(rec_b) == self._trace(rec_a)
+        assert net_b.stats.node(0).bytes_sent == net_a.stats.node(0).bytes_sent
+        assert net_b.stats.total_in_flight_losses() == net_a.stats.total_in_flight_losses()
+
+    def test_congestion_drops_match_sequential(self):
+        def build(seed):
+            from repro.simulation.engine import Simulator
+
+            simulator = Simulator(seed=seed)
+            network = build_network(simulator, latency=ConstantLatency(0.0))
+            network.register(
+                0, lambda m: None, cap=BandwidthCap(rate_bps=8000.0, max_backlog_seconds=1.0)
+            )
+            recorder = Recorder(simulator)
+            network.register(1, recorder)
+            return simulator, network, recorder
+
+        burst = [Message(sender=0, receiver=1, kind="serve", size_bytes=600) for _ in range(4)]
+        sim_a, net_a, rec_a = build(3)
+        accepted_a = sum(net_a.send(m) for m in burst)
+        sim_a.run_until_idle()
+        sim_b, net_b, rec_b = build(3)
+        accepted_b = net_b.send_many(burst)
+        sim_b.run_until_idle()
+        assert accepted_b == accepted_a == 1
+        assert net_b.stats.total_congestion_drops() == net_a.stats.total_congestion_drops() == 3
+        assert [t for _, t in rec_b.received] == [t for _, t in rec_a.received]
+
+    def test_mixed_senders_rejected(self, simulator):
+        network = build_network(simulator)
+        network.register(0, lambda m: None)
+        network.register(1, lambda m: None)
+        with pytest.raises(ValueError, match="single sender"):
+            network.send_many(
+                [
+                    Message(sender=0, receiver=1, kind="propose", size_bytes=10),
+                    Message(sender=1, receiver=0, kind="propose", size_bytes=10),
+                ]
+            )
+
+    def test_dead_sender_accepts_nothing(self, simulator):
+        network = build_network(simulator)
+        network.register(0, lambda m: None)
+        network.register(1, lambda m: None)
+        network.fail_node(0)
+        burst = [Message(sender=0, receiver=1, kind="propose", size_bytes=10)]
+        assert network.send_many(burst) == 0
+
+    def test_empty_burst(self, simulator):
+        network = build_network(simulator)
+        assert network.send_many([]) == 0
+
+    def test_observers_route_through_scalar_send(self, simulator):
+        class Edges:
+            def __init__(self):
+                self.accepted = []
+
+            def on_send_accepted(self, message, now, finish_time):
+                self.accepted.append(message.receiver)
+
+            def on_send_blocked(self, message, now):
+                pass
+
+            def on_congestion_drop(self, message, now):
+                pass
+
+            def on_in_flight_loss(self, message, now):
+                pass
+
+            def on_delivered(self, message, now):
+                pass
+
+            def on_delivery_dropped(self, message, now):
+                pass
+
+        network = build_network(simulator)
+        network.register(0, lambda m: None)
+        network.register(1, lambda m: None)
+        network.register(2, lambda m: None)
+        edges = Edges()
+        network.add_observer(edges)
+        burst = [
+            Message(sender=0, receiver=receiver, kind="propose", size_bytes=10)
+            for receiver in (1, 2)
+        ]
+        assert network.send_many(burst) == 2
+        assert edges.accepted == [1, 2]  # one edge per logical datagram

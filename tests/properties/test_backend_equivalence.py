@@ -1,0 +1,84 @@
+"""Backend equivalence: numpy fast path ⇒ byte-identical PointSummary.
+
+The batched backend (and the numpy kernels it enables) claims *exact*
+equivalence with the pure-python oracle — not statistical closeness.  This
+suite runs every registered scenario under ``REPRO_BACKEND=python`` and
+``REPRO_BACKEND=numpy`` through completely fresh builds and asserts the
+resulting :class:`~repro.sweep.summary.PointSummary` records are equal field
+for field (delivery log metrics, viewing curves, lag CDF, usage, event
+counts).  On interpreters without numpy the ``numpy`` request degrades to
+``python`` by design, so the property still holds (trivially) on the
+no-numpy CI leg.
+"""
+
+import os
+from contextlib import contextmanager
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import available_scenarios, build_scenario
+from repro.scenarios.builder import run_spec
+from repro.simulation import BACKEND_ENV
+from repro.sweep.summary import MetricsRequest, summarize
+
+REQUEST = MetricsRequest(
+    viewing_lags=(10.0, 20.0, float("inf")),
+    window_lags=(20.0,),
+    lag_cdf_grid=(0.0, 5.0, 10.0, 20.0),
+    include_usage=True,
+)
+
+SMALL = {"num_nodes": 16}
+PER_SCENARIO_OVERRIDES = {
+    "large-session": {
+        "num_nodes": 16,
+        "stream": build_scenario("homogeneous").stream,
+    },
+}
+
+
+@contextmanager
+def forced_backend(name):
+    previous = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[BACKEND_ENV]
+        else:
+            os.environ[BACKEND_ENV] = previous
+
+
+def _small_spec(name, seed):
+    overrides = dict(PER_SCENARIO_OVERRIDES.get(name, SMALL))
+    overrides["seed"] = seed
+    return build_scenario(name, **overrides)
+
+
+def _summary_under_backend(spec, backend_name):
+    with forced_backend(backend_name):
+        result = run_spec(spec)
+    return summarize(result, REQUEST, cell_id=spec.name, seed=spec.seed)
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(available_scenarios())),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_numpy_backend_matches_python_oracle(self, name, seed):
+        spec = _small_spec(name, seed)
+        oracle = _summary_under_backend(spec, "python")
+        fast = _summary_under_backend(spec, "numpy")
+        # PointSummary equality covers every extracted metric; wall_seconds
+        # is excluded from comparison by design.
+        assert fast == oracle
+        assert fast.events_processed == oracle.events_processed
+
+    def test_every_registered_scenario_is_exercised(self):
+        names = set(available_scenarios())
+        assert {"homogeneous", "churn-window", "flash-crowd", "eager-push"} <= names
+        for name in names:
+            _small_spec(name, seed=1)  # every scenario shrinks cleanly

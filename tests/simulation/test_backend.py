@@ -1,0 +1,178 @@
+"""Backend selection and batched-vs-scalar dispatch equivalence.
+
+The batched backend's correctness contract is *exact* equivalence with the
+scalar oracle: same events in the same order, same clock readings inside
+callbacks, same `events_processed`.  These tests exercise the contract on
+workloads built to hit the batched loop's edges — same-instant runs,
+mid-batch scheduling, mid-batch cancellation, `clear()` from a callback —
+plus the name-resolution rules the selection layer promises.
+"""
+
+import pytest
+
+from repro.simulation.backend import (
+    BACKEND_ENV,
+    numpy_available,
+    resolve_backend,
+    resolve_backend_name,
+)
+from repro.simulation.backend.batched import BatchedBackend
+from repro.simulation.backend.scalar import ScalarBackend
+from repro.simulation.engine import Simulator
+from repro.simulation.errors import SimulationTimeError
+
+
+class TestResolution:
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend_name("python") == "python"
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert resolve_backend_name() == "python"
+
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        expected = "numpy" if numpy_available() else "python"
+        assert resolve_backend_name() == expected
+        assert resolve_backend_name("auto") == expected
+
+    def test_numpy_request_degrades_without_numpy(self):
+        # The documented auto-fallback: "numpy" never errors, it degrades.
+        if numpy_available():
+            assert resolve_backend_name("numpy") == "numpy"
+        else:
+            assert resolve_backend_name("numpy") == "python"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            resolve_backend_name("fortran")
+
+    def test_resolve_backend_passes_instances_through(self):
+        backend = ScalarBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_simulator_exposes_backend_name(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert Simulator(seed=1).backend_name == "python"
+        assert Simulator(seed=1, backend="numpy").backend_name == "numpy"
+
+
+def _run_workload(backend):
+    """A workload exercising every batched-dispatch edge; returns its trace."""
+    simulator = Simulator(seed=42, backend=backend)
+    trace = []
+
+    def record(label):
+        trace.append((label, simulator.now, simulator.events_processed))
+
+    def fan_out(label, count):
+        record(label)
+        for index in range(count):
+            # Same-instant events (a batch run) plus earlier-than-batch
+            # insertions once the clock has moved past their base.
+            simulator.schedule(0.0, record, f"{label}/instant-{index}")
+            simulator.schedule(0.25, record, f"{label}/later-{index}")
+
+    def cancel_sibling(handle, label):
+        record(label)
+        handle.cancel()
+
+    for step in range(4):
+        base = float(step)
+        simulator.schedule_at(base + 0.5, fan_out, f"fan-{step}", 3)
+        doomed = simulator.schedule_at(base + 0.5, record, f"doomed-{step}")
+        simulator.schedule_at(base + 0.5, cancel_sibling, doomed, f"canceller-{step}")
+        simulator.schedule_fire_and_forget(base + 0.75, record, f"fire-{step}")
+    executed = simulator.run(until=10.0)
+    return trace, executed, simulator.events_processed, simulator.now
+
+
+class TestBatchedEquivalence:
+    def test_trace_identical_to_scalar(self):
+        scalar = _run_workload(ScalarBackend())
+        batched = _run_workload(BatchedBackend())
+        assert batched == scalar
+
+    def test_cancellation_after_batch_pop_is_honoured(self):
+        """An event cancelled by an earlier same-instant event must not run,
+        even though the batch already detached its handle."""
+        for backend in (ScalarBackend(), BatchedBackend()):
+            simulator = Simulator(seed=0, backend=backend)
+            fired = []
+            victim = {}
+            # The canceller has the smaller sequence, so it dispatches first
+            # within the same-instant batch and must suppress the victim.
+            simulator.schedule_at(1.0, lambda: victim["handle"].cancel())
+            victim["handle"] = simulator.schedule_at(1.0, fired.append, "victim")
+            simulator.run_until_idle()
+            assert fired == []
+
+    def test_mid_batch_scheduling_interleaves_correctly(self):
+        """Events scheduled from inside a same-instant run for that same
+        instant fire after the remaining batch entries (larger sequence)."""
+
+        def run(backend):
+            simulator = Simulator(seed=0, backend=backend)
+            order = []
+
+            def first():
+                order.append("first")
+                simulator.schedule(0.0, order.append, "spawned")
+
+            simulator.schedule_at(1.0, first)
+            simulator.schedule_at(1.0, order.append, "second")
+            simulator.run_until_idle()
+            return order
+
+        assert run(BatchedBackend()) == run(ScalarBackend()) == ["first", "second", "spawned"]
+
+    def test_clear_from_callback_stops_dispatch(self):
+        for backend in (ScalarBackend(), BatchedBackend()):
+            simulator = Simulator(seed=0, backend=backend)
+            fired = []
+            simulator.schedule_at(1.0, fired.append, "kept")
+            simulator.schedule_at(1.0, simulator.clear)
+            simulator.schedule_at(1.0, fired.append, "dropped")
+            simulator.schedule_at(2.0, fired.append, "dropped-too")
+            simulator.run_until_idle()
+            assert fired == ["kept"]
+
+    def test_observers_fall_back_to_scalar_semantics(self):
+        class Watcher:
+            def __init__(self):
+                self.dispatches = []
+
+            def on_event_dispatch(self, time, callback, args):
+                self.dispatches.append((time, args))
+
+        simulator = Simulator(seed=0, backend=BatchedBackend())
+        watcher = Watcher()
+        simulator.add_observer(watcher)
+        for index in range(3):
+            simulator.schedule_at(1.0, lambda _index: None, index)
+        simulator.run_until_idle()
+        assert watcher.dispatches == [(1.0, (0,)), (1.0, (1,)), (1.0, (2,))]
+
+    def test_max_events_budget_respected(self):
+        for backend in (ScalarBackend(), BatchedBackend()):
+            simulator = Simulator(seed=0, backend=backend)
+            for index in range(10):
+                simulator.schedule_at(1.0, lambda _index: None, index)
+            executed = simulator.run(max_events=4)
+            assert executed == 4
+            assert simulator.pending_events == 6
+
+
+class TestFireAndForget:
+    def test_negative_delay_rejected(self, simulator):
+        with pytest.raises(SimulationTimeError):
+            simulator.schedule_fire_and_forget(-0.1, lambda: None)
+
+    def test_runs_like_schedule(self, simulator):
+        fired = []
+        simulator.schedule_fire_and_forget(1.0, fired.append, "a")
+        simulator.schedule(1.0, fired.append, "b")
+        simulator.schedule_fire_and_forget(0.5, fired.append, "c")
+        simulator.run_until_idle()
+        assert fired == ["c", "a", "b"]
