@@ -43,6 +43,7 @@ from repro.scenarios import (
 from repro.simulation.engine import Simulator
 from repro.streaming.fec import ReedSolomonCode, WindowCodec
 from repro.streaming.schedule import StreamConfig, StreamSchedule
+from repro.telemetry.config import TelemetryConfig
 
 __version__ = "1.0.0"
 
@@ -73,6 +74,7 @@ __all__ = [
     "StreamQualityAnalyzer",
     "StreamSchedule",
     "StreamingSession",
+    "TelemetryConfig",
     "ThreePhaseGossip",
     "WindowCodec",
     "available_protocols",

@@ -6,7 +6,8 @@ Subcommands::
              (``--filter`` selects by substring of name or tag, accepts
              comma-separated lists and exact ``tag:<name>`` patterns;
              ``--profile`` additionally writes one cProfile pstats file
-             per benchmark under ``benchmarks/results/``)
+             per benchmark under ``benchmarks/results/`` and prints the
+             dump path plus a hot-path summary sorted by ``--profile-sort``)
     compare  gate a report against the committed baselines (exit 1 on a
              regression verdict; ``REPRO_BENCH_NO_GATE=1`` downgrades the
              failure to a warning for emergencies)
@@ -28,7 +29,12 @@ from typing import List, Optional, Sequence
 
 from repro.bench.baseline import BaselineStore, compare_report
 from repro.bench.report import BenchReport, ReportError
-from repro.bench.runner import DEFAULT_PROFILE_DIR, BenchmarkSelectionError, run_selected
+from repro.bench.runner import (
+    DEFAULT_PROFILE_DIR,
+    PROFILE_SORTS,
+    BenchmarkSelectionError,
+    run_selected,
+)
 from repro.bench.spec import default_registry
 
 NO_GATE_ENV = "REPRO_BENCH_NO_GATE"
@@ -99,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_PROFILE_DIR,
         help=f"where --profile writes pstats files (default: {DEFAULT_PROFILE_DIR})",
     )
+    run.add_argument(
+        "--profile-sort",
+        choices=PROFILE_SORTS,
+        default="cumulative",
+        help="sort key of the inline hot-path summary --profile prints "
+        "(default: cumulative)",
+    )
 
     compare = commands.add_parser("compare", help="gate a report against the baselines")
     compare.add_argument("report", help="report file produced by `run --json`")
@@ -133,6 +146,7 @@ def _cmd_run(args) -> int:
         repeats_override=args.repeat,
         verbose=not args.quiet,
         profile_dir=args.profile_dir if args.profile else None,
+        profile_sort=args.profile_sort,
     )
     if args.json:
         path = report.write(args.json)

@@ -15,6 +15,7 @@ and the per-repeat metric dicts are combined per the metric spec —
 from __future__ import annotations
 
 import cProfile
+import pstats
 import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
@@ -24,6 +25,12 @@ from repro.bench.spec import Benchmark, BenchContext, BenchmarkRegistry
 
 DEFAULT_PROFILE_DIR = "benchmarks/results"
 """Where ``run --profile`` drops its per-benchmark pstats files."""
+
+PROFILE_SORTS = ("cumulative", "tottime")
+"""Sort keys ``--profile-sort`` accepts for the inline hot-path summary."""
+
+PROFILE_TOP_LINES = 12
+"""How many pstats rows the inline summary prints per benchmark."""
 
 
 class BenchmarkRunError(RuntimeError):
@@ -69,17 +76,27 @@ def _combine_repeats(benchmark: Benchmark, repeats: List[Mapping[str, float]]) -
 
 
 def run_benchmark(
-    benchmark: Benchmark, ctx: BenchContext, profile_dir: Optional[str] = None
+    benchmark: Benchmark,
+    ctx: BenchContext,
+    profile_dir: Optional[str] = None,
+    profile_sort: str = "cumulative",
 ) -> BenchmarkRecord:
     """Warm up, repeat, combine: one benchmark to one record.
 
     With ``profile_dir`` set, the timed repetitions (warmup excluded) run
     under :mod:`cProfile` and the stats are written to
     ``<profile_dir>/PROFILE_<name>.pstats`` — load them with
-    ``pstats.Stats`` or ``snakeviz`` to find the hot path.  Profiling slows
-    the run, so the record's timed metrics are not comparable to unprofiled
-    baselines; gate runs never profile.
+    ``pstats.Stats`` or ``snakeviz`` to find the hot path.  The dump path
+    and a short hot-path summary (top rows sorted by ``profile_sort``)
+    are printed unconditionally, ``--quiet`` included: a profiling run's
+    whole point is that output.  Profiling slows the run, so the record's
+    timed metrics are not comparable to unprofiled baselines; gate runs
+    never profile.
     """
+    if profile_sort not in PROFILE_SORTS:
+        raise BenchmarkRunError(
+            f"unknown profile sort {profile_sort!r}; expected one of {PROFILE_SORTS}"
+        )
     repeats = benchmark.repeats_for(ctx.scale_name)
     if repeats < 1:
         raise BenchmarkRunError(f"benchmark {benchmark.name!r} requests {repeats} repeats")
@@ -100,7 +117,9 @@ def run_benchmark(
         directory.mkdir(parents=True, exist_ok=True)
         stats_path = directory / f"PROFILE_{benchmark.name}.pstats"
         profiler.dump_stats(stats_path)
-        ctx.log(f"    profile written to {stats_path}")
+        print(f"    profile written to {stats_path}")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(profile_sort).print_stats(PROFILE_TOP_LINES)
     record = BenchmarkRecord(
         benchmark=benchmark.name,
         metrics=_combine_repeats(benchmark, samples),
@@ -120,6 +139,7 @@ def run_selected(
     repeats_override: Optional[int] = None,
     verbose: bool = True,
     profile_dir: Optional[str] = None,
+    profile_sort: str = "cumulative",
 ) -> BenchReport:
     """Run every benchmark matching ``patterns`` and build one report."""
     selected = registry.select(patterns)
@@ -136,7 +156,9 @@ def run_selected(
 
             runnable = scaled(benchmark, repeats=repeats_override, smoke_repeats=repeats_override)
         ctx.log(f"[{runnable.name}] {runnable.description} (scale={scale_name})")
-        record = run_benchmark(runnable, ctx, profile_dir=profile_dir)
+        record = run_benchmark(
+            runnable, ctx, profile_dir=profile_dir, profile_sort=profile_sort
+        )
         for name in sorted(record.metrics):
             ctx.log(f"    {name} = {record.metrics[name]:,.6g}")
         ctx.log(f"    ({record.repeats} repeat(s), {record.wall_seconds:.2f}s)")

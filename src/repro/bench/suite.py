@@ -1,11 +1,14 @@
 """The registered benchmark suite — every ``benchmarks/bench_*.py`` as a spec.
 
 Importing this module populates :func:`repro.bench.spec.default_registry`
-with the twelve benchmarks the repo tracks:
+with the thirteen benchmarks the repo tracks:
 
 * ``engine-throughput`` — simulated events per wall-clock second;
 * ``observer-overhead`` — the validation hook layer's price in its three
   modes (unobserved / no-op observer / armed invariants);
+* ``telemetry-overhead`` — the telemetry layer's price in its four arming
+  modes (disabled / disarmed / metrics / traced), with the idle cost
+  pinned near zero;
 * ``figure1`` … ``figure8`` — regeneration of each paper figure, with the
   paper-shape checks of :mod:`repro.bench.figure_checks` asserted inline;
 * ``large-session`` — the fast-path flagship: metrics/codec stages timed
@@ -151,6 +154,85 @@ def run_observer_overhead(ctx: BenchContext) -> dict:
         "invariants_events_per_second": rates["invariants"],
         "noop_overhead": noop_overhead,
         "invariant_overhead": invariant_overhead,
+    }
+
+
+# ----------------------------------------------------------------------
+# telemetry-overhead
+# ----------------------------------------------------------------------
+TELEMETRY_MODES = ("disabled", "disarmed", "metrics", "traced")
+
+
+def run_telemetry_session(num_nodes: int, num_windows: int, mode: str, trace_dir) -> tuple:
+    """One full session in the given telemetry mode; (result, seconds)."""
+    import dataclasses
+
+    from repro.telemetry.config import TelemetryConfig
+
+    telemetry = {
+        "disabled": None,
+        "disarmed": TelemetryConfig(metrics=False),
+        "metrics": TelemetryConfig(metrics=True),
+        "traced": TelemetryConfig(
+            metrics=True, trace_path=str(Path(trace_dir) / f"bench_{mode}.jsonl")
+        ),
+    }[mode]
+    config = dataclasses.replace(
+        throughput_config(num_nodes=num_nodes, num_windows=num_windows),
+        telemetry=telemetry,
+    )
+    started = time.perf_counter()
+    result = run_once(config)
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def run_telemetry_overhead(ctx: BenchContext) -> dict:
+    """The telemetry layer's price in its four arming modes.
+
+    ``disabled`` (no config) and ``disarmed`` (config present, nothing
+    armed) must both ride the host-keeps-``None`` fast path, so their
+    overhead is the idle cost of merely *having* the layer — pinned near
+    zero.  ``metrics`` and ``traced`` record what arming actually costs.
+    """
+    import tempfile
+
+    num_nodes, num_windows = _engine_size(ctx)
+    rates = {}
+    events_by_mode = {}
+    trace_events = 0
+    with tempfile.TemporaryDirectory(prefix="bench-telemetry-") as trace_dir:
+        for mode in TELEMETRY_MODES:
+            result, elapsed = run_telemetry_session(num_nodes, num_windows, mode, trace_dir)
+            rates[mode] = result.events_processed / elapsed if elapsed > 0 else 0.0
+            events_by_mode[mode] = result.events_processed
+            if mode == "traced":
+                trace_events = result.telemetry.trace_events
+            ctx.log(f"    {mode:12s} {rates[mode]:>10,.0f} events/s")
+    if len(set(events_by_mode.values())) != 1:
+        raise AssertionError(
+            f"telemetry modes changed the event trace: {events_by_mode} "
+            "(telemetry must be pure observation)"
+        )
+
+    def overhead(mode: str) -> float:
+        return rates["disabled"] / rates[mode] - 1.0 if rates[mode] else 0.0
+
+    ctx.log(
+        f"    overhead: disarmed {overhead('disarmed'):+.1%}, "
+        f"metrics {overhead('metrics'):+.1%}, traced {overhead('traced'):+.1%} "
+        f"({trace_events:,} trace events)"
+    )
+    return {
+        "events_processed": float(events_by_mode["disabled"]),
+        "trace_events": float(trace_events),
+        "disabled_events_per_second": rates["disabled"],
+        "disarmed_events_per_second": rates["disarmed"],
+        "metrics_events_per_second": rates["metrics"],
+        "traced_events_per_second": rates["traced"],
+        "idle_overhead": overhead("disarmed"),
+        "metrics_overhead": overhead("metrics"),
+        "trace_overhead": overhead("traced"),
     }
 
 
@@ -495,6 +577,29 @@ def register_all(registry=None) -> None:
                 Metric("invariants_events_per_second", kind="rate", unit="events/s"),
                 Metric("noop_overhead", kind="rate", higher_is_better=False),
                 Metric("invariant_overhead", kind="rate", higher_is_better=False),
+            ),
+        )
+    )
+
+    registry.register(
+        Benchmark(
+            name="telemetry-overhead",
+            description="telemetry layer cost: disabled vs disarmed vs metrics vs traced",
+            run=run_telemetry_overhead,
+            warmup=_warmup_session,
+            tags=("engine", "telemetry", "observability"),
+            repeats=3,
+            smoke_repeats=1,
+            metrics=(
+                Metric("events_processed", kind="identity", unit="events"),
+                Metric("trace_events", kind="identity", unit="events"),
+                Metric("disabled_events_per_second", kind="rate", unit="events/s"),
+                Metric("disarmed_events_per_second", kind="rate", unit="events/s"),
+                Metric("metrics_events_per_second", kind="rate", unit="events/s"),
+                Metric("traced_events_per_second", kind="rate", unit="events/s"),
+                Metric("idle_overhead", kind="rate", higher_is_better=False),
+                Metric("metrics_overhead", kind="rate", higher_is_better=False),
+                Metric("trace_overhead", kind="rate", higher_is_better=False),
             ),
         )
     )

@@ -255,6 +255,9 @@ class GossipNode:
         now = self._simulator.now
         self.stats.gossip_rounds += 1
         partners = self._partners.partners_for_round(now)
+        if self._observers is not None:
+            for observer in self._observers:
+                observer.on_gossip_round(self.node_id, now, partners)
         self.protocol.on_gossip_round(now, partners)
 
     def _on_feed_me_round(self) -> None:
@@ -262,6 +265,9 @@ class GossipNode:
             return
         now = self._simulator.now
         targets = self._partners.pick_feed_me_targets(now)
+        if self._observers is not None:
+            for observer in self._observers:
+                observer.on_feed_me_round(self.node_id, now, targets)
         self.protocol.on_feed_me_round(now, targets)
 
     # ------------------------------------------------------------------
@@ -277,12 +283,16 @@ class GossipNode:
     # Services offered to the protocol strategy
     # ------------------------------------------------------------------
     def add_observer(self, observer: Any) -> None:
-        """Register a delivery observer.
+        """Register a node observer.
 
         ``observer.on_packet_delivered(node_id, packet_id, time, is_source)``
         fires on every *first-time* delivery, before the delivery listener
-        (see :class:`repro.validation.observers.DeliveryObserver`).  With no
-        observers the delivery path pays one ``is None`` test.
+        (see :class:`repro.validation.observers.DeliveryObserver`), and
+        ``on_gossip_round`` / ``on_feed_me_round`` fire at every protocol
+        timer tick (:class:`repro.validation.observers.ProtocolObserver`) —
+        observers must implement all three, typically by subclassing
+        :class:`~repro.validation.observers.SessionObserver`.  With no
+        observers each edge pays one ``is None`` test.
         """
         if self._observers is None:
             self._observers = []

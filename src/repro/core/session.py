@@ -48,6 +48,7 @@ from repro.protocols.registry import create_protocol, protocol_factory
 from repro.simulation.engine import Simulator
 from repro.streaming.schedule import StreamConfig, StreamSchedule
 from repro.streaming.source import StreamEmitter
+from repro.telemetry.config import TelemetryConfig
 
 from repro.core.config import GossipConfig
 from repro.core.node import GossipNode, NodeStats
@@ -90,6 +91,13 @@ class SessionConfig:
         Simulated seconds to keep running after the last packet is
         published, letting throttled queues drain (this is what makes
         "offline viewing" recover for moderate fanouts, as in Figure 1).
+    telemetry:
+        Optional :class:`~repro.telemetry.config.TelemetryConfig`.  ``None``
+        (the default) builds no telemetry objects at all — the session's
+        object graph and hot paths are exactly the untraced ones.  An armed
+        config attaches a metrics registry and/or a streaming trace
+        recorder through the observer edges; the run's
+        :attr:`SessionResult.telemetry` then carries the snapshot.
     """
 
     num_nodes: int = 60
@@ -103,6 +111,7 @@ class SessionConfig:
     join: Optional[JoinSchedule] = None
     failure_detection_delay: float = 5.0
     extra_time: float = 30.0
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -157,6 +166,11 @@ class SessionResult:
     events_processed: int
     end_time: float
     late_joiners: List[NodeId] = field(default_factory=list)
+    #: Telemetry snapshot (:class:`~repro.telemetry.session.TelemetrySnapshot`)
+    #: when the config armed telemetry, else ``None``.  Excluded from
+    #: equality: telemetry observes a run, it is not part of the result's
+    #: identity.
+    telemetry: Optional[object] = field(default=None, compare=False, repr=False)
 
     _quality_cache: Dict[str, StreamQualityAnalyzer] = field(default_factory=dict, repr=False)
 
@@ -254,6 +268,7 @@ class StreamingSession:
         self._failed_nodes: List[NodeId] = []
         self._join_events: List[JoinEvent] = []
         self._late_joiners: List[NodeId] = []
+        self.telemetry = None  # SessionTelemetry once built with an armed config
 
     # ------------------------------------------------------------------
     # Construction
@@ -279,6 +294,7 @@ class StreamingSession:
         self._build_source()
         self._build_churn()
         self._build_join()
+        self._build_telemetry()
 
     def _build_membership(self) -> None:
         config = self.config
@@ -362,6 +378,16 @@ class StreamingSession:
             self.network.fail_node(node_id)
             self.nodes[node_id].fail()
 
+    def _build_telemetry(self) -> None:
+        config = self.config
+        if config.telemetry is None or not config.telemetry.armed:
+            return
+        # Imported lazily: the telemetry session layer observes sessions,
+        # so importing it from here at module scope would be circular.
+        from repro.telemetry.session import SessionTelemetry
+
+        self.telemetry = SessionTelemetry(config.telemetry).attach(self)
+
     def _apply_joins(self, joiners: List[NodeId]) -> None:
         assert self.directory is not None
         for node_id in joiners:
@@ -388,6 +414,9 @@ class StreamingSession:
         self.simulator.run(until=end_time)
 
         assert self.network is not None
+        telemetry_snapshot = (
+            self.telemetry.finalize() if self.telemetry is not None else None
+        )
         return SessionResult(
             config=self.config,
             schedule=self.schedule,
@@ -398,6 +427,7 @@ class StreamingSession:
             events_processed=self.simulator.events_processed,
             end_time=self.simulator.now,
             late_joiners=list(self._late_joiners),
+            telemetry=telemetry_snapshot,
         )
 
 

@@ -39,6 +39,7 @@ from repro.membership.join import JoinSchedule
 from repro.network.message import NodeId
 from repro.network.transport import NetworkConfig
 from repro.streaming.schedule import StreamConfig
+from repro.telemetry.config import TelemetryConfig
 
 from repro.scenarios.spec import ScenarioSpec
 
@@ -131,6 +132,11 @@ class SessionBuilder:
         self._overrides["extra_time"] = seconds
         return self
 
+    def telemetry(self, config: Optional[TelemetryConfig]) -> "SessionBuilder":
+        """Telemetry config (``None``: no telemetry objects are built)."""
+        self._overrides["telemetry"] = config
+        return self
+
     # ------------------------------------------------------------------
     # Outputs
     # ------------------------------------------------------------------
@@ -184,6 +190,7 @@ class SessionBuilder:
         builder.source_uncapped(spec.source_uncapped)
         builder.failure_detection_delay(spec.failure_detection_delay)
         builder.extra_time(spec.extra_time)
+        builder.telemetry(spec.telemetry)
         return builder
 
     @classmethod

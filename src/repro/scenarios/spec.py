@@ -28,6 +28,7 @@ from repro.membership.join import JoinSchedule
 from repro.membership.partners import INFINITE
 from repro.network.message import NodeId
 from repro.streaming.schedule import StreamConfig
+from repro.telemetry.config import TelemetryConfig
 
 
 @dataclass(frozen=True)
@@ -115,6 +116,9 @@ class ScenarioSpec:
         Optional perturbation schedules.
     source_uncapped / failure_detection_delay / extra_time:
         Session-level knobs, forwarded verbatim.
+    telemetry:
+        Optional :class:`~repro.telemetry.config.TelemetryConfig`, forwarded
+        verbatim; ``None`` (the default) builds no telemetry objects.
     """
 
     name: str
@@ -141,6 +145,7 @@ class ScenarioSpec:
     source_uncapped: bool = True
     failure_detection_delay: float = 5.0
     extra_time: float = 30.0
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -34,6 +34,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 from repro.core.session import SessionConfig, SessionResult
 from repro.experiments.scale import ExperimentScale
 from repro.scenarios.builder import SessionBuilder
+from repro.telemetry.config import TelemetryConfig
 
 from repro.sweep.spec import ConfigPatch, SweepTask, dedupe_tasks
 from repro.sweep.store import ResultStore, run_fingerprint
@@ -63,8 +64,17 @@ def apply_patch(config: SessionConfig, patch: ConfigPatch) -> SessionConfig:
     return config
 
 
-def run_task(scale: ExperimentScale, task: SweepTask) -> SessionResult:
-    """Run one task's full session (point knobs, then the config patch)."""
+def run_task(
+    scale: ExperimentScale,
+    task: SweepTask,
+    telemetry: Optional[TelemetryConfig] = None,
+) -> SessionResult:
+    """Run one task's full session (point knobs, then the config patch).
+
+    ``telemetry`` arms the session's telemetry layer for this run; it is
+    applied after the patch so a sweep-wide metrics request cannot be
+    silently overridden by a per-task patch.
+    """
     point = task.point
     if point.scale_name != scale.name:
         raise ValueError(
@@ -81,6 +91,8 @@ def run_task(scale: ExperimentScale, task: SweepTask) -> SessionResult:
     )
     if task.patch:
         config = apply_patch(config, task.patch)
+    if telemetry is not None:
+        config = dataclasses.replace(config, telemetry=telemetry)
     return SessionBuilder.from_config(config).run()
 
 
@@ -91,7 +103,8 @@ def compute_summary(
 ) -> PointSummary:
     """Run one task and reduce it to its summary (the unit of worker work)."""
     started = time.perf_counter()
-    result = run_task(scale, task)
+    telemetry = TelemetryConfig(metrics=True) if request.include_metrics else None
+    result = run_task(scale, task, telemetry=telemetry)
     return summarize(
         result,
         request,

@@ -45,12 +45,18 @@ class MetricsRequest:
         The critical-lag CDF grid (Figure 2).
     include_usage:
         Whether to extract the sorted per-node upload usage (Figure 4).
+    include_metrics:
+        Whether to run the point with the telemetry metrics registry armed
+        and persist its snapshot into the summary (counter/gauge values per
+        rendered metric name).  Off by default: metrics add rows to every
+        store record and most sweeps only need the figure-facing numbers.
     """
 
     viewing_lags: Tuple[float, ...] = (10.0, 20.0, OFFLINE_LAG)
     window_lags: Tuple[float, ...] = (20.0,)
     lag_cdf_grid: Tuple[float, ...] = ()
     include_usage: bool = True
+    include_metrics: bool = False
 
     @classmethod
     def for_scale(cls, scale) -> "MetricsRequest":
@@ -85,6 +91,7 @@ class PointSummary:
     num_failed: int = 0
     events_processed: int = 0
     end_time: float = 0.0
+    metrics: Tuple[Tuple[str, float], ...] = ()
     wall_seconds: float = field(default=0.0, compare=False)
 
     # ------------------------------------------------------------------
@@ -125,9 +132,21 @@ class PointSummary:
     # ------------------------------------------------------------------
     # JSON round-trip (ResultStore records)
     # ------------------------------------------------------------------
+    def metric(self, name: str) -> float:
+        """The value of one persisted telemetry metric by rendered name."""
+        for recorded_name, value in self.metrics:
+            if recorded_name == name:
+                return value
+        raise KeyError(f"summary of {self.cell_id!r} has no metric {name!r}")
+
     def to_json_dict(self) -> Dict[str, object]:
-        """A standard-JSON-safe dictionary (``inf`` encoded as a string)."""
-        return {
+        """A standard-JSON-safe dictionary (``inf`` encoded as a string).
+
+        The ``metrics`` key appears only when a snapshot was captured:
+        store records written before the telemetry layer existed — and the
+        golden files pinning them — stay byte-identical.
+        """
+        record: Dict[str, object] = {
             "cell_id": self.cell_id,
             "seed": self.seed,
             "viewing": [[_dump_float(lag), value] for lag, value in self.viewing],
@@ -144,6 +163,9 @@ class PointSummary:
             "end_time": self.end_time,
             "wall_seconds": self.wall_seconds,
         }
+        if self.metrics:
+            record["metrics"] = [[name, value] for name, value in self.metrics]
+        return record
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "PointSummary":
@@ -165,6 +187,9 @@ class PointSummary:
             num_failed=int(data.get("num_failed", 0)),
             events_processed=int(data.get("events_processed", 0)),
             end_time=float(data.get("end_time", 0.0)),
+            metrics=tuple(
+                (str(name), float(value)) for name, value in data.get("metrics", ())
+            ),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
         )
 
@@ -215,6 +240,10 @@ def summarize(
     usage: Tuple[float, ...] = ()
     if request.include_usage:
         usage = tuple(result.bandwidth_usage().sorted_usage(descending=True))
+    metrics: Tuple[Tuple[str, float], ...] = ()
+    if request.include_metrics and result.telemetry is not None:
+        snapshot = result.telemetry.metrics
+        metrics = tuple(sorted(snapshot.items()))
     return PointSummary(
         cell_id=cell_id,
         seed=seed,
@@ -228,5 +257,6 @@ def summarize(
         num_failed=len(result.failed_nodes),
         events_processed=result.events_processed,
         end_time=result.end_time,
+        metrics=metrics,
         wall_seconds=wall_seconds,
     )

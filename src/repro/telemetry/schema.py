@@ -1,0 +1,258 @@
+"""The versioned ``repro.telemetry/1`` streaming trace format.
+
+A trace is a JSONL file: the first line is a **header**, every following
+line one **event**.  The format is backend-agnostic by design — ROADMAP
+items 1 (sharded PDES) and 2 (asyncio-UDP backend) will emit the same
+schema, which is what makes :mod:`repro.telemetry.diff` a bit-reproducibility
+triage tool across execution backends.
+
+Header line::
+
+    {"schema": "repro.telemetry/1", "meta": {...}}
+
+``meta`` carries run identification (seed, node count, protocol, dispatch
+backend, code fingerprint, stream geometry) plus a wall-clock timestamp.
+Determinism is pinned *modulo the header*: two runs of the same config and
+seed produce byte-identical event lines, while the header may differ in
+wall-clock fields.
+
+Event lines are compact objects with three universal keys —
+
+* ``i``  contiguous event index (assigned by the writer),
+* ``t``  simulated time in seconds,
+* ``k``  event kind (one of :data:`EVENT_KINDS`)
+
+— plus per-kind fields:
+
+==================  ====================================================
+kind                extra fields
+==================  ====================================================
+``dispatch``        ``fn`` (callback qualname) — sampling applies
+``send``            ``snd rcv mk sz d fin`` (datagram seq + serialization
+                    finish time)
+``send_blocked``    ``snd rcv mk sz`` (sender dead, nothing entered)
+``drop_congestion`` ``snd rcv mk sz`` (upload backlog full)
+``loss``            ``snd rcv mk sz d`` (lost in flight after accept)
+``deliver_msg``     ``snd rcv mk sz d`` (datagram reached live receiver)
+``drop_dead``       ``snd rcv mk sz d`` (receiver dead at arrival)
+``packet``          ``n p source`` (first-time stream-packet delivery)
+``node_failed``     ``n``
+``node_recovered``  ``n``
+``round``           ``n np`` (gossip round with np partners)
+``feed_me_round``   ``n nt`` (feed-me round with nt targets)
+==================  ====================================================
+
+``d`` is a **datagram sequence number** assigned in acceptance order (not a
+Python ``id()``, which would differ across runs): the same ``d`` links a
+``send`` to its terminal fate, which is what the Perfetto exporter turns
+into flow arrows.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as KindCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, Iterator, Optional, Tuple, Union
+
+TRACE_SCHEMA = "repro.telemetry/1"
+"""Schema tag of traces this code writes."""
+
+SCHEMA_NAME = "repro.telemetry"
+SCHEMA_MAJOR = 1
+
+EVENT_KINDS: Tuple[str, ...] = (
+    "dispatch",
+    "send",
+    "send_blocked",
+    "drop_congestion",
+    "loss",
+    "deliver_msg",
+    "drop_dead",
+    "packet",
+    "node_failed",
+    "node_recovered",
+    "round",
+    "feed_me_round",
+)
+"""Every event kind of schema major version 1, in rough hot-path order."""
+
+
+class TraceError(ValueError):
+    """A trace file violates the schema (or is not a trace at all)."""
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The parsed first line of a trace."""
+
+    schema: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def major_version(self) -> int:
+        """The schema's major version number."""
+        return int(self.schema.rpartition("/")[2])
+
+
+class TraceWriter:
+    """Streams events to a JSONL trace with bounded memory.
+
+    The header is written on construction; events are buffered and flushed
+    every ``flush_every`` lines (and on :meth:`close`), so an arbitrarily
+    long session holds at most ``flush_every`` encoded lines in memory.
+    The writer assigns the contiguous ``i`` index — callers supply events
+    without it.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        meta: Optional[Dict[str, Any]] = None,
+        flush_every: int = 1000,
+    ) -> None:
+        if flush_every < 1:
+            raise TraceError(f"flush_every must be >= 1, got {flush_every!r}")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._flush_every = flush_every
+        self._buffer: list = []
+        self._count = 0
+        self._by_kind: KindCounter = KindCounter()
+        self._file: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
+        header = {"schema": TRACE_SCHEMA, "meta": dict(meta or {})}
+        self._file.write(json.dumps(header, separators=(",", ":")) + "\n")
+        self._file.flush()
+
+    @property
+    def events_written(self) -> int:
+        """Events appended so far (header excluded)."""
+        return self._count
+
+    @property
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Per-kind event counts so far."""
+        return dict(self._by_kind)
+
+    def append(self, kind: str, time: float, **fields) -> None:
+        """Append one event; ``i`` is assigned here."""
+        event = {"i": self._count, "t": time, "k": kind}
+        event.update(fields)
+        self._buffer.append(json.dumps(event, separators=(",", ":")))
+        self._count += 1
+        self._by_kind[kind] += 1
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered lines through to disk (so a live trace is tailable)."""
+        if self._file is None:
+            raise TraceError(f"trace writer for {self.path} is closed")
+        if self._buffer:
+            self._file.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._file is None:
+            return
+        self.flush()
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+def read_header(path: Union[str, Path]) -> TraceHeader:
+    """Parse and validate a trace's header line.
+
+    Raises :class:`TraceError` for a missing/foreign schema tag or an
+    unsupported major version — minor-version evolution stays readable
+    because events are self-describing objects.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+    if not first.strip():
+        raise TraceError(f"{path}: empty file is not a trace")
+    try:
+        data = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: header line is not JSON: {exc}") from exc
+    schema = data.get("schema") if isinstance(data, dict) else None
+    if not isinstance(schema, str):
+        raise TraceError(f"{path}: header has no schema tag")
+    name, _, version = schema.rpartition("/")
+    if name != SCHEMA_NAME or not version.isdigit():
+        raise TraceError(f"{path}: foreign schema tag {schema!r}")
+    if int(version) != SCHEMA_MAJOR:
+        raise TraceError(
+            f"{path}: unsupported schema major version {version} "
+            f"(this reader understands {SCHEMA_NAME}/{SCHEMA_MAJOR})"
+        )
+    meta = data.get("meta", {})
+    if not isinstance(meta, dict):
+        raise TraceError(f"{path}: header meta must be an object")
+    return TraceHeader(schema=schema, meta=meta)
+
+
+def iter_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield every event of a trace (header validated, then skipped)."""
+    read_header(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        handle.readline()  # header
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{line_number}: bad event line: {exc}") from exc
+
+
+def validate_trace(path: Union[str, Path]) -> Tuple[TraceHeader, int]:
+    """Full structural validation; returns ``(header, event count)``.
+
+    Checks the header, a contiguous ``i`` sequence, non-decreasing ``t``
+    (simulated time is monotone, so any regression means interleaved or
+    corrupt writes) and known event kinds.
+    """
+    header = read_header(path)
+    count = 0
+    last_time = float("-inf")
+    for event in iter_events(path):
+        if event.get("i") != count:
+            raise TraceError(
+                f"{path}: event index {event.get('i')!r} where {count} was expected"
+            )
+        kind = event.get("k")
+        if kind not in EVENT_KINDS:
+            raise TraceError(f"{path}: event {count} has unknown kind {kind!r}")
+        time = event.get("t")
+        if not isinstance(time, (int, float)) or time < last_time:
+            raise TraceError(
+                f"{path}: event {count} time {time!r} regresses below {last_time!r}"
+            )
+        last_time = float(time)
+        count += 1
+    return header, count
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "TRACE_SCHEMA",
+    "TraceError",
+    "TraceHeader",
+    "TraceWriter",
+    "iter_events",
+    "read_header",
+    "validate_trace",
+]

@@ -1,0 +1,126 @@
+"""Per-session trace summaries: one streaming pass, one table.
+
+:func:`summarize_trace` reads a ``repro.telemetry/1`` trace once (bounded
+memory — nothing but counters accumulate) and produces a
+:class:`TraceSummary`: event counts per kind, datagram fates and bytes per
+message kind, the set of nodes seen, and the covered time span.  This is
+the ``summarize`` CLI subcommand and the quick first look before opening a
+trace in Perfetto.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Set, Union
+
+from repro.telemetry.schema import TraceHeader, iter_events, read_header
+
+#: Trace kinds that describe a datagram's terminal (or refused) fate.
+_FATE_KINDS = ("send_blocked", "drop_congestion", "loss", "deliver_msg", "drop_dead")
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates of one trace (everything a streaming pass can count)."""
+
+    path: str
+    header: TraceHeader
+    total_events: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    datagrams_sent: int = 0
+    datagram_fates: Dict[str, int] = field(default_factory=dict)
+    bytes_sent_by_kind: Dict[str, int] = field(default_factory=dict)
+    packet_deliveries: int = 0
+    nodes_seen: int = 0
+    failures: int = 0
+    recoveries: int = 0
+    first_time: float = 0.0
+    last_time: float = 0.0
+
+    def table(self) -> str:
+        """A human-readable multi-section summary."""
+        meta = self.header.meta
+        lines = [f"trace     {self.path}", f"schema    {self.header.schema}"]
+        if meta:
+            described = ", ".join(
+                f"{key}={meta[key]}"
+                for key in ("num_nodes", "seed", "protocol", "backend")
+                if key in meta
+            )
+            if described:
+                lines.append(f"run       {described}")
+        lines.append(
+            f"events    {self.total_events:,} over "
+            f"[{self.first_time:.3f}s, {self.last_time:.3f}s]"
+        )
+        lines.append("")
+        lines.append("events by kind:")
+        for kind in sorted(self.by_kind):
+            lines.append(f"  {kind:<16} {self.by_kind[kind]:>10,}")
+        if self.datagrams_sent or any(self.datagram_fates.values()):
+            lines.append("")
+            lines.append("datagram fates:")
+            lines.append(f"  {'accepted':<16} {self.datagrams_sent:>10,}")
+            for fate in _FATE_KINDS:
+                count = self.datagram_fates.get(fate, 0)
+                if count:
+                    lines.append(f"  {fate:<16} {count:>10,}")
+        if self.bytes_sent_by_kind:
+            lines.append("")
+            lines.append("bytes sent by message kind:")
+            for kind in sorted(self.bytes_sent_by_kind):
+                lines.append(f"  {kind:<16} {self.bytes_sent_by_kind[kind]:>12,}")
+        lines.append("")
+        lines.append(
+            f"packet deliveries {self.packet_deliveries:,} across "
+            f"{self.nodes_seen} node(s); failures {self.failures}, "
+            f"recoveries {self.recoveries}"
+        )
+        return "\n".join(lines)
+
+
+def summarize_trace(path: Union[str, Path]) -> TraceSummary:
+    """One streaming pass over a trace, counters only."""
+    header = read_header(path)
+    by_kind: Counter = Counter()
+    fates: Counter = Counter()
+    bytes_by_kind: Counter = Counter()
+    nodes: Set[int] = set()
+    summary = TraceSummary(path=str(path), header=header)
+    first_time = None
+    last_time = 0.0
+    for event in iter_events(path):
+        kind = event["k"]
+        by_kind[kind] += 1
+        time = event["t"]
+        if first_time is None:
+            first_time = time
+        last_time = time
+        if kind == "send":
+            summary.datagrams_sent += 1
+            bytes_by_kind[event["mk"]] += event["sz"]
+        elif kind in _FATE_KINDS:
+            fates[kind] += 1
+        elif kind == "packet":
+            summary.packet_deliveries += 1
+            nodes.add(event["n"])
+        elif kind == "node_failed":
+            summary.failures += 1
+        elif kind == "node_recovered":
+            summary.recoveries += 1
+        for key in ("snd", "rcv", "n"):
+            if key in event:
+                nodes.add(event[key])
+    summary.total_events = sum(by_kind.values())
+    summary.by_kind = dict(by_kind)
+    summary.datagram_fates = dict(fates)
+    summary.bytes_sent_by_kind = dict(bytes_by_kind)
+    summary.nodes_seen = len(nodes)
+    summary.first_time = first_time if first_time is not None else 0.0
+    summary.last_time = last_time
+    return summary
+
+
+__all__ = ["TraceSummary", "summarize_trace"]

@@ -43,6 +43,7 @@ from repro.validation.invariants import (
 )
 from repro.validation.observers import (
     DeliveryObserver,
+    ProtocolObserver,
     SessionObserver,
     SimulationObserver,
     TransportObserver,
@@ -63,6 +64,7 @@ __all__ = [
     "InvariantViolation",
     "PacketConservation",
     "ProtocolConformance",
+    "ProtocolObserver",
     "ReplayReport",
     "ReproBundle",
     "ScenarioFuzzer",

@@ -27,6 +27,7 @@ from repro.membership.churn import CatastrophicChurn, ChurnSchedule, StaggeredCh
 from repro.membership.join import FlashCrowdJoin, JoinSchedule
 from repro.scenarios.spec import BandwidthClass, ScenarioSpec
 from repro.streaming.schedule import StreamConfig
+from repro.telemetry.config import TelemetryConfig
 
 BUNDLE_FORMAT = "repro.validation.bundle/v1"
 
@@ -90,6 +91,7 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
     data["bandwidth_classes"] = [asdict(cls) for cls in spec.bandwidth_classes]
     data["churn"] = _churn_to_dict(spec.churn)
     data["join"] = _join_to_dict(spec.join)
+    data["telemetry"] = None if spec.telemetry is None else spec.telemetry.to_json_dict()
     # JSON has no inf; feed_me_every may be the INFINITE sentinel.
     if data["feed_me_every"] == float("inf"):
         data["feed_me_every"] = "inf"
@@ -105,6 +107,10 @@ def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
     )
     fields["churn"] = _churn_from_dict(fields.get("churn"))
     fields["join"] = _join_from_dict(fields.get("join"))
+    telemetry = fields.get("telemetry")
+    fields["telemetry"] = (
+        None if telemetry is None else TelemetryConfig.from_json_dict(telemetry)
+    )
     if fields.get("feed_me_every") == "inf":
         fields["feed_me_every"] = float("inf")
     return ScenarioSpec(**fields)

@@ -12,7 +12,9 @@ paths pay a single identity test per event/datagram):
   dropped at a dead receiver / blocked at a dead sender) plus node
   failure/recovery transitions (:class:`TransportObserver`);
 * :class:`~repro.core.node.GossipNode` — the **first-time delivery edge**
-  (:meth:`DeliveryObserver.on_packet_delivered`).
+  (:meth:`DeliveryObserver.on_packet_delivered`) plus the **protocol-phase
+  edges** (:class:`ProtocolObserver`): one callback per gossip round and
+  per feed-me round, fired with the partner/target sets the node drew.
 
 The base classes here are deliberately all no-ops: an invariant checker
 subclasses the union (:class:`SessionObserver`) and overrides only the edges
@@ -24,7 +26,7 @@ without observers attached, and ``tests/validation`` pins that.
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+from typing import Any, Sequence, Tuple
 
 from repro.network.message import Message, NodeId
 from repro.streaming.packets import PacketId
@@ -89,8 +91,31 @@ class DeliveryObserver:
         """
 
 
-class SessionObserver(SimulationObserver, TransportObserver, DeliveryObserver):
-    """Union base: observes all three substrates of one streaming session."""
+class ProtocolObserver:
+    """Watches protocol-phase ticks at gossip nodes.
+
+    These edges fire once per node per timer tick (every 0.2 s of simulated
+    time by default) — orders of magnitude cooler than the dispatch or
+    datagram edges — and carry the partner/target draws the node is about
+    to hand its dissemination strategy.  Observers must not mutate the
+    sequences they receive.
+    """
+
+    def on_gossip_round(
+        self, node_id: NodeId, time: float, partners: Sequence[NodeId]
+    ) -> None:
+        """``node_id`` starts a gossip round towards ``partners``."""
+
+    def on_feed_me_round(
+        self, node_id: NodeId, time: float, targets: Sequence[NodeId]
+    ) -> None:
+        """``node_id`` fires a feed-me round towards ``targets``."""
+
+
+class SessionObserver(
+    SimulationObserver, TransportObserver, DeliveryObserver, ProtocolObserver
+):
+    """Union base: observes every substrate of one streaming session."""
 
 
 def attach_session_observer(session, observer: SessionObserver) -> None:

@@ -81,14 +81,18 @@ class TestRegistry:
         assert [b.name for b in registry.select(["tag:figure"])] == ["real"]
         assert [b.name for b in registry.select(["tag:figure,wide"])] == ["real", "wide"]
 
-    def test_default_suite_registers_all_twelve(self):
+    def test_default_suite_registers_all_thirteen(self):
         from repro.bench import default_registry
 
         names = default_registry().names()
-        assert len(names) == 12
-        assert names[:2] == ["engine-throughput", "observer-overhead"]
-        assert [f"figure{i}" for i in range(1, 9)] == names[2:10]
-        assert names[10:] == ["large-session", "sweep-parallel"]
+        assert len(names) == 13
+        assert names[:3] == [
+            "engine-throughput",
+            "observer-overhead",
+            "telemetry-overhead",
+        ]
+        assert [f"figure{i}" for i in range(1, 9)] == names[3:11]
+        assert names[11:] == ["large-session", "sweep-parallel"]
 
 
 class TestRepeatHarness:

@@ -81,3 +81,55 @@ class TestTrafficStats:
         stats.record_sent(3, "a", 1)
         stats.record_received(5, "a", 1)
         assert set(stats.nodes()) == {3, 5}
+
+
+class TestMetricsView:
+    """The telemetry export stays a thin view over the NodeTraffic cells."""
+
+    def _populated(self):
+        stats = TrafficStats()
+        stats.record_sent(1, "propose", 100)
+        stats.record_sent(2, "serve", 1000)
+        stats.record_received(2, "serve", 1000)
+        stats.record_congestion_drop(1, "serve", 500)
+        stats.record_in_flight_loss(2, "serve", 700)
+        return stats
+
+    def test_totals_summed_across_nodes(self):
+        view = self._populated().metrics_view()
+        assert view["net.bytes_sent"] == 1100.0
+        assert view["net.messages_sent"] == 2.0
+        assert view["net.bytes_received"] == 1000.0
+        assert view["net.bytes_dropped_congestion"] == 500.0
+        assert view["net.messages_dropped_congestion"] == 1.0
+        assert view["net.bytes_lost_in_flight"] == 700.0
+        assert view["net.messages_lost_in_flight"] == 1.0
+
+    def test_per_kind_byte_split(self):
+        view = self._populated().metrics_view()
+        assert view["net.bytes_sent{kind=propose}"] == 100.0
+        assert view["net.bytes_sent{kind=serve}"] == 1000.0
+        assert view["net.bytes_received{kind=serve}"] == 1000.0
+
+    def test_view_is_live_not_a_copy(self):
+        stats = self._populated()
+        before = stats.metrics_view()["net.bytes_sent"]
+        stats.record_sent(1, "serve", 900)
+        assert stats.metrics_view()["net.bytes_sent"] == before + 900.0
+
+    def test_bind_registry_exports_through_snapshot(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        stats = self._populated()
+        registry = MetricsRegistry()
+        stats.bind_registry(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["net.bytes_sent"] == 1100.0
+        assert snapshot["net.bytes_sent{kind=serve}"] == 1000.0
+
+    def test_old_per_node_api_unchanged_by_view(self):
+        stats = self._populated()
+        stats.metrics_view()
+        assert stats.node(1).bytes_sent == 100
+        assert stats.node(2).sent_bytes_by_kind["serve"] == 1000
+        assert stats.total_bytes_sent() == 1100

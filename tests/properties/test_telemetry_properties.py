@@ -1,0 +1,77 @@
+"""Telemetry purity as a property: armed recording never changes a run.
+
+Every registered scenario is shrunk to test size and run twice — once bare,
+once with metrics *and* tracing armed.  The two
+:class:`~repro.sweep.summary.PointSummary` records must be equal field for
+field: the telemetry layer rides the PR 4 observer edges, whose contract is
+pure observation, so arming it may never perturb a result.  This is the
+telemetry mirror of ``test_scenario_properties`` and the property the
+``telemetry-overhead`` benchmark's identity gate enforces in CI.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import available_scenarios, build_scenario
+from repro.scenarios.builder import run_spec
+from repro.sweep.summary import MetricsRequest, summarize
+from repro.telemetry.config import TelemetryConfig
+
+REQUEST = MetricsRequest(
+    viewing_lags=(10.0, 20.0, float("inf")),
+    window_lags=(20.0,),
+    lag_cdf_grid=(0.0, 5.0, 10.0, 20.0),
+    include_usage=True,
+)
+
+SMALL = {"num_nodes": 16}
+PER_SCENARIO_OVERRIDES = {
+    "large-session": {
+        "num_nodes": 16,
+        "stream": build_scenario("homogeneous").stream,
+    },
+}
+
+
+def _small_spec(name, seed, telemetry=None):
+    overrides = dict(PER_SCENARIO_OVERRIDES.get(name, SMALL))
+    overrides["seed"] = seed
+    overrides["telemetry"] = telemetry
+    return build_scenario(name, **overrides)
+
+
+def _summary_of(spec):
+    result = run_spec(spec)
+    return result, summarize(result, REQUEST, cell_id=spec.name, seed=spec.seed)
+
+
+class TestTelemetryPurity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(available_scenarios())),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_armed_telemetry_leaves_summary_identical(self, name, seed, tmp_path_factory):
+        trace_dir = tmp_path_factory.mktemp("traces")
+        bare_result, bare = _summary_of(_small_spec(name, seed))
+        armed_spec = _small_spec(
+            name,
+            seed,
+            telemetry=TelemetryConfig(
+                metrics=True, trace_path=str(trace_dir / f"{name}-{seed}.jsonl")
+            ),
+        )
+        armed_result, armed = _summary_of(armed_spec)
+        assert bare == armed
+        assert bare_result.events_processed == armed_result.events_processed
+        # The armed run actually recorded something.
+        snapshot = armed_result.telemetry
+        assert snapshot is not None
+        assert snapshot.trace_events > 0
+        assert snapshot.metric("engine.events_dispatched") == float(
+            armed_result.events_processed
+        )
+
+    def test_every_registered_scenario_accepts_telemetry(self):
+        for name in available_scenarios():
+            spec = _small_spec(name, seed=1, telemetry=TelemetryConfig(metrics=True))
+            assert spec.telemetry is not None and spec.telemetry.armed

@@ -108,3 +108,48 @@ class TestZeroWindows:
             viewing=((math.inf, 42.0),),
         )
         assert summary.viewing_percentage(math.inf) == 42.0
+
+
+class TestTelemetryMetrics:
+    def test_metrics_key_omitted_when_empty(self):
+        """Store records written before telemetry existed — and the golden
+        files pinning them — must stay byte-identical."""
+        summary = PointSummary(cell_id="c", seed=1)
+        assert "metrics" not in summary.to_json_dict()
+
+    def test_metrics_round_trip_when_present(self):
+        import json
+
+        summary = PointSummary(
+            cell_id="c",
+            seed=1,
+            metrics=(("engine.events_dispatched", 123.0), ("net.bytes_sent", 456.0)),
+        )
+        data = summary.to_json_dict()
+        assert data["metrics"] == [
+            ["engine.events_dispatched", 123.0],
+            ["net.bytes_sent", 456.0],
+        ]
+        clone = PointSummary.from_json_dict(json.loads(json.dumps(data)))
+        assert clone == summary
+        assert clone.metric("net.bytes_sent") == 456.0
+
+    def test_metric_accessor_raises_for_missing_name(self):
+        with pytest.raises(KeyError):
+            PointSummary(cell_id="c", seed=1).metric("nope")
+
+    def test_include_metrics_flows_through_compute_summary(self, sweep_scale):
+        import dataclasses
+
+        task = SweepTask(point=ExperimentPoint(scale_name=sweep_scale.name))
+        request = dataclasses.replace(
+            MetricsRequest.for_scale(sweep_scale), include_metrics=True
+        )
+        armed = compute_summary(sweep_scale, task, request)
+        assert armed.metrics
+        assert armed.metric("engine.events_dispatched") == float(armed.events_processed)
+        bare = compute_summary(
+            sweep_scale, task, MetricsRequest.for_scale(sweep_scale)
+        )
+        # Arming metrics never perturbs the figure-facing numbers.
+        assert dataclasses.replace(armed, metrics=()) == bare

@@ -1,0 +1,149 @@
+"""Trace schema round-trip, structural validation and version gating."""
+
+import json
+
+import pytest
+
+from repro.telemetry.schema import (
+    EVENT_KINDS,
+    TRACE_SCHEMA,
+    TraceError,
+    TraceWriter,
+    iter_events,
+    read_header,
+    validate_trace,
+)
+
+
+def write_trace(path, events, meta=None, flush_every=1000):
+    with TraceWriter(path, meta=meta, flush_every=flush_every) as writer:
+        for kind, time, fields in events:
+            writer.append(kind, time, **fields)
+    return path
+
+
+class TestWriterRoundTrip:
+    def test_header_then_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(
+            path,
+            [
+                ("send", 0.5, {"snd": 0, "rcv": 3, "mk": "serve", "sz": 1000, "d": 0, "fin": 0.6}),
+                ("deliver_msg", 0.7, {"snd": 0, "rcv": 3, "mk": "serve", "sz": 1000, "d": 0}),
+            ],
+            meta={"seed": 7},
+        )
+        header = read_header(path)
+        assert header.schema == TRACE_SCHEMA
+        assert header.major_version == 1
+        assert header.meta == {"seed": 7}
+        events = list(iter_events(path))
+        assert [event["i"] for event in events] == [0, 1]
+        assert [event["k"] for event in events] == ["send", "deliver_msg"]
+        assert events[0]["d"] == 0 and events[0]["fin"] == 0.6
+
+    def test_writer_counts(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path) as writer:
+            writer.append("round", 0.0, n=1, np=7)
+            writer.append("round", 0.1, n=2, np=7)
+            writer.append("packet", 0.2, n=1, p=0, source=False)
+            assert writer.events_written == 3
+            assert writer.counts_by_kind == {"round": 2, "packet": 1}
+
+    def test_flush_every_bounds_buffering(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(path, flush_every=2)
+        writer.append("round", 0.0, n=1, np=1)
+        # One buffered line: only the header is on disk yet.
+        assert len(path.read_text().strip().splitlines()) == 1
+        writer.append("round", 0.1, n=2, np=1)
+        assert len(path.read_text().strip().splitlines()) == 3
+        writer.close()
+        writer.close()  # idempotent
+
+    def test_validate_trace_accepts_well_formed(self, tmp_path):
+        path = write_trace(
+            tmp_path / "t.jsonl",
+            [("round", 0.0, {"n": 1, "np": 7}), ("round", 0.0, {"n": 2, "np": 7})],
+        )
+        header, count = validate_trace(path)
+        assert count == 2
+        assert header.schema == TRACE_SCHEMA
+
+
+class TestVersioning:
+    def test_foreign_schema_raises(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text(json.dumps({"schema": "someone.else/1", "meta": {}}) + "\n")
+        with pytest.raises(TraceError, match="foreign schema"):
+            read_header(path)
+
+    def test_future_major_version_raises(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"schema": "repro.telemetry/2", "meta": {}}) + "\n")
+        with pytest.raises(TraceError, match="major version"):
+            read_header(path)
+
+    def test_missing_schema_tag_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"meta": {}}) + "\n")
+        with pytest.raises(TraceError, match="no schema tag"):
+            read_header(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            read_header(path)
+
+    def test_non_json_header_raises(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError):
+            read_header(path)
+
+
+class TestStructuralValidation:
+    def _trace_with_lines(self, tmp_path, lines):
+        path = tmp_path / "t.jsonl"
+        header = json.dumps({"schema": TRACE_SCHEMA, "meta": {}})
+        path.write_text("\n".join([header] + lines) + "\n")
+        return path
+
+    def test_gap_in_index_raises(self, tmp_path):
+        path = self._trace_with_lines(
+            tmp_path,
+            [
+                json.dumps({"i": 0, "t": 0.0, "k": "round", "n": 1, "np": 1}),
+                json.dumps({"i": 2, "t": 0.1, "k": "round", "n": 2, "np": 1}),
+            ],
+        )
+        with pytest.raises(TraceError, match="event index"):
+            validate_trace(path)
+
+    def test_unknown_kind_raises(self, tmp_path):
+        path = self._trace_with_lines(
+            tmp_path, [json.dumps({"i": 0, "t": 0.0, "k": "not-a-kind"})]
+        )
+        with pytest.raises(TraceError, match="unknown kind"):
+            validate_trace(path)
+
+    def test_time_regression_raises(self, tmp_path):
+        path = self._trace_with_lines(
+            tmp_path,
+            [
+                json.dumps({"i": 0, "t": 5.0, "k": "round", "n": 1, "np": 1}),
+                json.dumps({"i": 1, "t": 4.0, "k": "round", "n": 2, "np": 1}),
+            ],
+        )
+        with pytest.raises(TraceError, match="regresses"):
+            validate_trace(path)
+
+    def test_every_kind_is_writable_and_validates(self, tmp_path):
+        path = tmp_path / "all-kinds.jsonl"
+        with TraceWriter(path) as writer:
+            for kind in EVENT_KINDS:
+                writer.append(kind, 1.0)
+        _, count = validate_trace(path)
+        assert count == len(EVENT_KINDS)

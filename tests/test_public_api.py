@@ -66,4 +66,16 @@ class TestPublicApi:
             assert hasattr(bench, name), f"repro.bench.__all__ lists {name} but it is missing"
         assert callable(bench.run_selected)
         assert callable(bench.compare_report)
-        assert len(bench.default_registry()) == 12
+        assert len(bench.default_registry()) == 13
+
+    def test_telemetry_package_importable(self):
+        from repro import telemetry
+
+        for name in telemetry.__all__:
+            assert hasattr(
+                telemetry, name
+            ), f"repro.telemetry.__all__ lists {name} but it is missing"
+        assert callable(telemetry.TelemetryConfig)
+        assert callable(telemetry.MetricsRegistry)
+        assert callable(telemetry.diff_traces)
+        assert callable(telemetry.SessionTelemetry)
