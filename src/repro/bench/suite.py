@@ -1,7 +1,7 @@
 """The registered benchmark suite — every ``benchmarks/bench_*.py`` as a spec.
 
 Importing this module populates :func:`repro.bench.spec.default_registry`
-with the thirteen benchmarks the repo tracks:
+with the fourteen benchmarks the repo tracks:
 
 * ``engine-throughput`` — simulated events per wall-clock second;
 * ``observer-overhead`` — the validation hook layer's price in its three
@@ -13,6 +13,9 @@ with the thirteen benchmarks the repo tracks:
   paper-shape checks of :mod:`repro.bench.figure_checks` asserted inline;
 * ``large-session`` — the fast-path flagship: metrics/codec stages timed
   in-process against their pinned reference implementations;
+* ``sharded-session`` — the conservative time-window runner vs the scalar
+  oracle: identity-gated event counts and delivery checksums, wall-clock
+  reported as trend info;
 * ``sweep-parallel`` — serial vs multiprocess sweep identity and speedup.
 
 Gating policy (see :mod:`repro.bench.spec`): deterministic counters (events
@@ -483,6 +486,107 @@ def run_large_session(ctx: BenchContext) -> dict:
 
 
 # ----------------------------------------------------------------------
+# sharded-session
+# ----------------------------------------------------------------------
+#: (num_nodes, num_windows) per scale.  The metropolis scale runs the
+#: registered scenario at full size — nightly territory, not CI's.
+SHARDED_SESSION_SIZES = {
+    "smoke": (30, 4),
+    "reduced": (60, 6),
+    "metropolis": (None, None),
+}
+
+
+def _delivery_checksum(result) -> float:
+    """First 48 bits of a SHA-256 over every (node, packet, time) delivery.
+
+    The strongest identity the gate can pin: two runs agree on this float
+    only if every delivery of every packet at every node landed at the
+    bit-identical instant.
+    """
+    digest = hashlib.sha256()
+    deliveries = result.deliveries.raw()
+    for node_id in sorted(deliveries):
+        for packet_id in sorted(deliveries[node_id]):
+            digest.update(
+                f"{node_id}:{packet_id}:{deliveries[node_id][packet_id]!r};".encode("ascii")
+            )
+    return float(int(digest.hexdigest()[:12], 16))
+
+
+def run_sharded_session(ctx: BenchContext) -> dict:
+    """The sharded runner vs the scalar oracle: identity gated, time reported.
+
+    Identity metrics (event count, delivery checksum) gate CI: the sharded
+    run must be byte-identical to the scalar run of the same config.
+    Wall-clock numbers are info-only — on the 1-core CI runner the window
+    protocol is pure overhead and the "speedup" is expected to be *below*
+    one (see the README's performance notes).
+    """
+    from repro.scenarios import build_scenario
+    from repro.scenarios.builder import SessionBuilder
+    from repro.shard import run_sharded
+
+    default_nodes, default_windows = SHARDED_SESSION_SIZES.get(
+        ctx.scale_name, SHARDED_SESSION_SIZES["reduced"]
+    )
+    num_nodes = ctx.option_int("nodes", default_nodes)
+    num_windows = ctx.option_int("windows", default_windows)
+    shards = ctx.option_int("shards", 2)
+    mode = ctx.options.get("mode", "thread")
+
+    overrides = {"shards": shards}
+    if num_nodes is not None:
+        overrides["num_nodes"] = num_nodes
+    if num_windows is not None:
+        overrides["stream"] = StreamConfig.paper_defaults(num_windows=num_windows)
+    spec = build_scenario("metropolis", **overrides)
+    config = SessionBuilder.from_spec(spec).to_config()
+    ctx.log(f"    session: {spec.describe()} ({shards} shards, {mode} mode)")
+
+    started = time.perf_counter()
+    sharded = run_sharded(config, mode=mode)
+    sharded_seconds = time.perf_counter() - started
+    ctx.log(
+        f"    sharded: {sharded.events_processed:,} events in {sharded_seconds:.2f}s"
+    )
+
+    # The scalar oracle doubles the benchmark's cost, so the full-size
+    # metropolis leg skips it by default (``--option oracle=1`` forces it).
+    run_oracle = bool(ctx.option_int("oracle", 0 if config.num_nodes > 1000 else 1))
+    metrics = {
+        "events_processed": float(sharded.events_processed),
+        "delivery_checksum": _delivery_checksum(sharded),
+        "delivery_ratio": sharded.delivery_ratio(),
+        "shards": float(shards),
+        "sharded_wall_seconds": sharded_seconds,
+        "oracle_checked": 1.0 if run_oracle else 0.0,
+        "scalar_wall_seconds": 0.0,
+        "sharded_speedup": 0.0,
+    }
+    if run_oracle:
+        started = time.perf_counter()
+        oracle = StreamingSession(config).run()
+        oracle_seconds = time.perf_counter() - started
+        if (
+            oracle.events_processed != sharded.events_processed
+            or _delivery_checksum(oracle) != metrics["delivery_checksum"]
+        ):
+            raise AssertionError(
+                "sharded run diverged from the scalar oracle "
+                f"(events {sharded.events_processed} vs {oracle.events_processed})"
+            )
+        speedup = oracle_seconds / sharded_seconds if sharded_seconds > 0 else 0.0
+        ctx.log(
+            f"    scalar : {oracle.events_processed:,} events in {oracle_seconds:.2f}s "
+            f"-> sharded speedup {speedup:.2f}x (identical results)"
+        )
+        metrics["scalar_wall_seconds"] = oracle_seconds
+        metrics["sharded_speedup"] = speedup
+    return metrics
+
+
+# ----------------------------------------------------------------------
 # sweep-parallel
 # ----------------------------------------------------------------------
 def run_sweep_parallel(ctx: BenchContext) -> dict:
@@ -640,6 +744,24 @@ def register_all(registry=None) -> None:
                 Metric("codec_speedup", kind="ratio", tolerance=0.6, unit="x"),
                 Metric("combined_stage_speedup", kind="ratio", tolerance=0.6, unit="x"),
                 Metric("identical_results", kind="identity"),
+            ),
+        )
+    )
+    registry.register(
+        Benchmark(
+            name="sharded-session",
+            description="conservative time-window shards vs the scalar oracle",
+            run=run_sharded_session,
+            tags=("shard", "parallel", "scale"),
+            metrics=(
+                Metric("events_processed", kind="identity", unit="events"),
+                Metric("delivery_checksum", kind="identity"),
+                Metric("delivery_ratio", kind="identity"),
+                Metric("oracle_checked", kind="identity"),
+                Metric("shards", kind="info"),
+                Metric("sharded_wall_seconds", kind="rate", higher_is_better=False, unit="s"),
+                Metric("scalar_wall_seconds", kind="rate", higher_is_better=False, unit="s"),
+                Metric("sharded_speedup", kind="rate", unit="x"),
             ),
         )
     )

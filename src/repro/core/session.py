@@ -98,6 +98,20 @@ class SessionConfig:
         config attaches a metrics registry and/or a streaming trace
         recorder through the observer edges; the run's
         :attr:`SessionResult.telemetry` then carries the snapshot.
+    shards:
+        ``None`` (the default) runs the classic single-queue session with
+        the historical shared RNG streams — bit-compatible with every
+        golden file.  An integer ``k >= 1`` declares the session *sharded*:
+        per-datagram randomness switches to placement-invariant per-sender
+        streams, and :func:`run_session` routes execution through the
+        conservative time-window runner (:mod:`repro.shard`), partitioning
+        nodes across ``k`` workers.  The contract is exact: any shard count
+        produces byte-identical results to a scalar
+        :class:`StreamingSession` run of the same config (which is what
+        ``tests/properties/test_shard_equivalence.py`` pins) — ``shards``
+        changes *how* a session executes, never *what* it computes, but the
+        per-sender RNG mode means ``shards=k`` results differ from
+        ``shards=None`` ones.
     """
 
     num_nodes: int = 60
@@ -112,10 +126,13 @@ class SessionConfig:
     failure_detection_delay: float = 5.0
     extra_time: float = 30.0
     telemetry: Optional[TelemetryConfig] = None
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
             raise ValueError(f"a session needs at least 2 nodes, got {self.num_nodes!r}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1 (or None), got {self.shards!r}")
         if self.extra_time < 0.0:
             raise ValueError(f"extra_time must be >= 0, got {self.extra_time!r}")
         if self.failure_detection_delay < 0.0:
@@ -280,7 +297,7 @@ class StreamingSession:
         self._built = True
         config = self.config
 
-        simulator = Simulator(seed=config.seed)
+        simulator = self._create_simulator()
         self.simulator = simulator
         self.schedule = StreamSchedule(config.stream)
         # Bind the delivery log to the schedule: every recorded delivery then
@@ -295,6 +312,15 @@ class StreamingSession:
         self._build_churn()
         self._build_join()
         self._build_telemetry()
+
+    def _create_simulator(self) -> Simulator:
+        """The simulator driving this session.
+
+        Overridden by the sharded runner's per-shard session, which installs
+        a windowed dispatch backend; everything else about :meth:`build` is
+        shared between the scalar and sharded paths.
+        """
+        return Simulator(seed=self.config.seed)
 
     def _build_membership(self) -> None:
         config = self.config
@@ -317,15 +343,31 @@ class StreamingSession:
         assert self.simulator is not None
         config = self.config
         node_ids = list(range(config.num_nodes))
-        latency = config.network.build_latency(self.simulator.rng, node_ids)
-        loss = config.network.build_loss(self.simulator.rng)
+        # Sharded sessions key per-datagram randomness by sending node so a
+        # node's draws do not depend on which shard runs it; unsharded
+        # sessions keep the historical shared streams (golden-file compat).
+        per_sender = config.shards is not None
+        latency = config.network.build_latency(
+            self.simulator.rng, node_ids, per_sender=per_sender
+        )
+        loss = config.network.build_loss(self.simulator.rng, per_sender=per_sender)
         self.network = Network(self.simulator, latency_model=latency, loss_model=loss)
+
+    def _nodes_to_build(self) -> List[NodeId]:
+        """Which nodes this session instantiates and registers.
+
+        The scalar session builds every node; a shard session overrides this
+        to build only the nodes it owns (while still building the full
+        membership directory and perturbation plans, which must be
+        replica-identical across shards).
+        """
+        return list(range(self.config.num_nodes))
 
     def _build_nodes(self) -> None:
         assert self.simulator is not None and self.network is not None
         assert self.directory is not None and self.schedule is not None
         config = self.config
-        for node_id in range(config.num_nodes):
+        for node_id in self._nodes_to_build():
             is_source = node_id == config.source_id
             if is_source and config.source_uncapped:
                 cap = BandwidthCap.unlimited()
@@ -432,5 +474,18 @@ class StreamingSession:
 
 
 def run_session(config: SessionConfig) -> SessionResult:
-    """Convenience one-liner: build and run a session from a config."""
+    """Build and run a session, honouring :attr:`SessionConfig.shards`.
+
+    ``shards=None`` runs the classic scalar session in-process.  A set shard
+    count routes through the conservative time-window runner
+    (:mod:`repro.shard`), which partitions the nodes across ``shards``
+    workers and merges their fragments into one :class:`SessionResult` —
+    byte-identical to running ``StreamingSession(config).run()`` directly.
+    """
+    if config.shards is not None:
+        # Imported lazily: repro.shard builds per-shard StreamingSession
+        # subclasses, so a module-scope import would be circular.
+        from repro.shard import run_sharded
+
+        return run_sharded(config)
     return StreamingSession(config).run()

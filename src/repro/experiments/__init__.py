@@ -28,12 +28,21 @@ from repro.experiments.figures import (
     figure8_churn_windows,
 )
 from repro.experiments.runner import ExperimentPoint, RunCache, format_rate, run_point
-from repro.experiments.scale import PAPER, REDUCED, SMOKE, XLARGE, ExperimentScale, scale_by_name
+from repro.experiments.scale import (
+    METROPOLIS,
+    PAPER,
+    REDUCED,
+    SMOKE,
+    XLARGE,
+    ExperimentScale,
+    scale_by_name,
+)
 
 __all__ = [
     "ExperimentPoint",
     "ExperimentScale",
     "FigureResult",
+    "METROPOLIS",
     "PAPER",
     "REDUCED",
     "RunCache",

@@ -35,7 +35,7 @@ from repro.membership.churn import CatastrophicChurn, ChurnSchedule
 from repro.membership.partners import INFINITE
 from repro.network.transport import NetworkConfig
 from repro.scenarios.builder import SessionBuilder
-from repro.scenarios.registry import large_session
+from repro.scenarios.registry import large_session, metropolis
 from repro.streaming.schedule import StreamConfig
 
 
@@ -301,7 +301,29 @@ XLARGE = ExperimentScale(
 )
 """Beyond-paper size: 1,000 nodes, paper stream ratios (fast-path flagship)."""
 
-_SCALES = {scale.name: scale for scale in (SMOKE, REDUCED, PAPER, XLARGE)}
+# Same single-source-of-truth arrangement as xlarge / "large-session": the
+# registered "metropolis" scenario defines the geometry, the scale derives
+# its sizing from it.
+_METROPOLIS_SPEC = metropolis()
+
+METROPOLIS = ExperimentScale(
+    name="metropolis",
+    num_nodes=_METROPOLIS_SPEC.num_nodes,
+    payload_bytes=_METROPOLIS_SPEC.stream.payload_bytes,
+    source_packets_per_window=_METROPOLIS_SPEC.stream.source_packets_per_window,
+    fec_packets_per_window=_METROPOLIS_SPEC.stream.fec_packets_per_window,
+    num_windows=_METROPOLIS_SPEC.stream.num_windows,
+    max_backlog_seconds=_METROPOLIS_SPEC.max_backlog_seconds,
+    extra_time=_METROPOLIS_SPEC.extra_time,
+    fanout_grid=(4, 5, 6, 7, 10, 15, 20, 35, 50, 80, 120, 200, 500),
+    fig2_fanouts=(4, 5, 7, 10, 20, 50, 120),
+    fig2_lag_grid=tuple(float(t) for t in range(0, 151, 5)),
+    fig4_pairs=((7, 700.0), (50, 700.0), (50, 1000.0), (50, 2000.0), (120, 2000.0)),
+    optimal_fanout=7,
+)
+"""City-scale: 10,000 nodes across shard workers (nightly-benchmark size)."""
+
+_SCALES = {scale.name: scale for scale in (SMOKE, REDUCED, PAPER, XLARGE, METROPOLIS)}
 
 
 def scale_by_name(name: str) -> ExperimentScale:

@@ -9,13 +9,31 @@ quality model reproducing the good/bad asymmetry.
 
 All latencies are one-way propagation delays in seconds and exclude the
 serialization delay imposed by :class:`repro.network.bandwidth.UploadLimiter`.
+
+Sender-keyed draws
+------------------
+The random models support two draw modes.  The default shares one stream
+across all datagrams, so the i-th draw goes to the i-th send *globally* —
+fine for a single event loop, and pinned by the pre-sharding golden files.
+With ``per_sender=True`` every sender draws from its own stream
+(``latency/<model>/node-<sender>``): a node's delays then depend only on its
+own send history, never on how sends from different nodes interleave.  That
+placement-invariance is what lets the sharded runner
+(:mod:`repro.shard`) execute disjoint node sets on independent event loops
+and still reproduce the scalar run bit for bit.
+
+``min_latency()`` is the greatest lower bound a model can ever return.  It
+is the conservative lookahead of the sharded backend (a datagram sent at
+``t`` cannot arrive before ``t + min_latency()``), and is also handy
+standalone for validation checkers bounding feasible delivery times.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from abc import ABC, abstractmethod
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.simulation.rng import RngRegistry
 
@@ -29,9 +47,40 @@ class LatencyModel(ABC):
     def sample(self, sender: NodeId, receiver: NodeId) -> float:
         """Return the propagation delay in seconds for one datagram."""
 
+    @abstractmethod
+    def min_latency(self) -> float:
+        """Greatest lower bound on :meth:`sample` over all pairs and draws.
+
+        The sharded backend uses this as its conservative lookahead, so the
+        bound must hold for *every* possible draw, not just typical ones.
+        """
+
     def describe(self) -> str:
         """Human-readable one-line description (used in experiment reports)."""
         return type(self).__name__
+
+
+class _SenderStreams:
+    """Per-sender ``random.Random`` streams under ``<purpose>/node-<id>``.
+
+    A tiny cache in front of :meth:`RngRegistry.node_stream`: the registry
+    keys by formatted string, which costs an f-string per call; datagram
+    sampling is hot enough that an int-keyed dict is worth keeping here.
+    """
+
+    __slots__ = ("_registry", "_purpose", "_streams")
+
+    def __init__(self, registry: RngRegistry, purpose: str) -> None:
+        self._registry = registry
+        self._purpose = purpose
+        self._streams: Dict[NodeId, random.Random] = {}
+
+    def for_sender(self, sender: NodeId) -> random.Random:
+        stream = self._streams.get(sender)
+        if stream is None:
+            stream = self._registry.node_stream(self._purpose, sender)
+            self._streams[sender] = stream
+        return stream
 
 
 class ConstantLatency(LatencyModel):
@@ -45,22 +94,42 @@ class ConstantLatency(LatencyModel):
     def sample(self, sender: NodeId, receiver: NodeId) -> float:
         return self.delay
 
+    def min_latency(self) -> float:
+        return self.delay
+
     def describe(self) -> str:
         return f"constant {self.delay * 1000:.0f} ms"
 
 
 class UniformLatency(LatencyModel):
-    """Latency drawn i.i.d. from ``[low, high]`` for every datagram."""
+    """Latency drawn i.i.d. from ``[low, high]`` for every datagram.
 
-    def __init__(self, rng: RngRegistry, low: float = 0.02, high: float = 0.12) -> None:
+    With ``per_sender=True`` each sender draws from its own
+    ``latency/uniform/node-<id>`` stream (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        low: float = 0.02,
+        high: float = 0.12,
+        per_sender: bool = False,
+    ) -> None:
         if low < 0.0 or high < low:
             raise ValueError(f"invalid latency range [{low!r}, {high!r}]")
-        self._rng = rng.stream("latency/uniform")
+        self._rng: Optional[random.Random] = None if per_sender else rng.stream("latency/uniform")
+        self._sender_streams = _SenderStreams(rng, "latency/uniform") if per_sender else None
         self.low = float(low)
         self.high = float(high)
 
     def sample(self, sender: NodeId, receiver: NodeId) -> float:
-        return self._rng.uniform(self.low, self.high)
+        rng = self._rng
+        if rng is None:
+            rng = self._sender_streams.for_sender(sender)
+        return rng.uniform(self.low, self.high)
+
+    def min_latency(self) -> float:
+        return self.low
 
     def describe(self) -> str:
         return f"uniform [{self.low * 1000:.0f}, {self.high * 1000:.0f}] ms"
@@ -80,17 +149,27 @@ class LogNormalLatency(LatencyModel):
         median: float = 0.06,
         sigma: float = 0.5,
         minimum: float = 0.005,
+        per_sender: bool = False,
     ) -> None:
         if median <= 0.0 or sigma < 0.0 or minimum < 0.0:
             raise ValueError("invalid lognormal latency parameters")
-        self._rng = rng.stream("latency/lognormal")
+        self._rng: Optional[random.Random] = (
+            None if per_sender else rng.stream("latency/lognormal")
+        )
+        self._sender_streams = _SenderStreams(rng, "latency/lognormal") if per_sender else None
         self.median = float(median)
         self.sigma = float(sigma)
         self.minimum = float(minimum)
 
     def sample(self, sender: NodeId, receiver: NodeId) -> float:
-        value = self._rng.lognormvariate(math.log(self.median), self.sigma)
+        rng = self._rng
+        if rng is None:
+            rng = self._sender_streams.for_sender(sender)
+        value = rng.lognormvariate(math.log(self.median), self.sigma)
         return max(self.minimum, value)
+
+    def min_latency(self) -> float:
+        return self.minimum
 
     def describe(self) -> str:
         return f"lognormal median {self.median * 1000:.0f} ms sigma {self.sigma:.2f}"
@@ -118,14 +197,25 @@ class PerNodeQualityLatency(LatencyModel):
         quality_sigma: float = 0.6,
         jitter: float = 0.2,
         minimum: float = 0.005,
+        per_sender: bool = False,
     ) -> None:
         if base <= 0.0 or quality_sigma < 0.0 or not 0.0 <= jitter < 1.0:
             raise ValueError("invalid per-node latency parameters")
         self.base = float(base)
         self.jitter = float(jitter)
         self.minimum = float(minimum)
-        self._sample_rng = rng.stream("latency/per-node/jitter")
+        # The quality factors are drawn once at construction from their own
+        # stream, so they are identical however (and wherever) datagrams are
+        # later sampled — every shard of a sharded run reconstructs the same
+        # table by passing the full node id list.
+        self._sample_rng: Optional[random.Random] = (
+            None if per_sender else rng.stream("latency/per-node/jitter")
+        )
+        self._sender_streams = (
+            _SenderStreams(rng, "latency/per-node/jitter") if per_sender else None
+        )
         quality_rng = rng.stream("latency/per-node/quality")
+        self._quality_rng = quality_rng
         self._quality: Dict[NodeId, float] = {
             node_id: quality_rng.lognormvariate(0.0, quality_sigma) for node_id in node_ids
         }
@@ -137,13 +227,18 @@ class PerNodeQualityLatency(LatencyModel):
     def register_node(self, node_id: NodeId) -> None:
         """Assign a quality factor to a node added after construction."""
         if node_id not in self._quality:
-            quality_rng = self._sample_rng
-            self._quality[node_id] = quality_rng.lognormvariate(0.0, 0.3)
+            self._quality[node_id] = self._quality_rng.lognormvariate(0.0, 0.3)
 
     def sample(self, sender: NodeId, receiver: NodeId) -> float:
         pair_quality = (self._quality[sender] + self._quality[receiver]) / 2.0
-        noise = 1.0 + self._sample_rng.uniform(-self.jitter, self.jitter)
+        rng = self._sample_rng
+        if rng is None:
+            rng = self._sender_streams.for_sender(sender)
+        noise = 1.0 + rng.uniform(-self.jitter, self.jitter)
         return max(self.minimum, self.base * pair_quality * noise)
+
+    def min_latency(self) -> float:
+        return self.minimum
 
     def describe(self) -> str:
         return f"per-node quality, base {self.base * 1000:.0f} ms"

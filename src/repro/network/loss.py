@@ -6,15 +6,23 @@ in the reproduction, mirroring the paper's deployment:
 * *random loss* modelled here (wide-area packet loss independent of load);
 * *congestion loss* produced by the upload limiter when a node's backlog
   overflows (modelled in :mod:`repro.network.bandwidth`, not here).
+
+Like the latency models, the random models accept ``per_sender=True`` to key
+their per-datagram draws by the sending node (``loss/<model>/node-<id>``)
+instead of one shared stream — the placement-invariant mode required by the
+sharded runner (:mod:`repro.shard`; see :mod:`repro.network.latency` for the
+rationale).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Optional
+import random
 
 from repro.simulation.rng import RngRegistry
 
+from repro.network.latency import _SenderStreams
 from repro.network.message import Message, NodeId
 
 
@@ -43,16 +51,22 @@ class NoLoss(LossModel):
 class UniformLoss(LossModel):
     """Each datagram is independently lost with fixed probability."""
 
-    def __init__(self, rng: RngRegistry, probability: float = 0.01) -> None:
+    def __init__(
+        self, rng: RngRegistry, probability: float = 0.01, per_sender: bool = False
+    ) -> None:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"loss probability must be in [0, 1], got {probability!r}")
         self.probability = float(probability)
-        self._rng = rng.stream("loss/uniform")
+        self._rng: Optional[random.Random] = None if per_sender else rng.stream("loss/uniform")
+        self._sender_streams = _SenderStreams(rng, "loss/uniform") if per_sender else None
 
     def is_lost(self, message: Message) -> bool:
         if self.probability == 0.0:
             return False
-        return self._rng.random() < self.probability
+        rng = self._rng
+        if rng is None:
+            rng = self._sender_streams.for_sender(message.sender)
+        return rng.random() < self.probability
 
     def describe(self) -> str:
         return f"uniform loss p={self.probability:.3f}"
@@ -69,6 +83,7 @@ class PerNodeLoss(LossModel):
         rng: RngRegistry,
         probabilities: Mapping[NodeId, float],
         default: float = 0.0,
+        per_sender: bool = False,
     ) -> None:
         for node_id, probability in probabilities.items():
             if not 0.0 <= probability <= 1.0:
@@ -79,7 +94,8 @@ class PerNodeLoss(LossModel):
             raise ValueError(f"default loss probability must be in [0, 1], got {default!r}")
         self._probabilities: Dict[NodeId, float] = dict(probabilities)
         self.default = float(default)
-        self._rng = rng.stream("loss/per-node")
+        self._rng: Optional[random.Random] = None if per_sender else rng.stream("loss/per-node")
+        self._sender_streams = _SenderStreams(rng, "loss/per-node") if per_sender else None
 
     def probability_for(self, node_id: NodeId) -> float:
         """The loss probability applied to datagrams destined to ``node_id``."""
@@ -89,7 +105,10 @@ class PerNodeLoss(LossModel):
         probability = self.probability_for(message.receiver)
         if probability == 0.0:
             return False
-        return self._rng.random() < probability
+        rng = self._rng
+        if rng is None:
+            rng = self._sender_streams.for_sender(message.sender)
+        return rng.random() < probability
 
     def describe(self) -> str:
         return f"per-node loss ({len(self._probabilities)} nodes configured)"

@@ -136,6 +136,26 @@ class TrafficStats:
         """Ids of all nodes that have recorded any traffic."""
         return tuple(self._per_node)
 
+    def raw(self) -> Dict[NodeId, NodeTraffic]:
+        """Direct (read-only by convention) access to the per-node cells.
+
+        Mirrors :meth:`repro.metrics.delivery.DeliveryLog.raw`: the sharded
+        runner's merge step re-homes whole cells — every counter of a node
+        is recorded on the shard that owns it, so cells never need summing.
+        """
+        return self._per_node
+
+    def adopt_cell(self, node_id: NodeId, cell: NodeTraffic) -> None:
+        """Install a node's counter cell wholesale (shard-merge path).
+
+        Refuses to overwrite: a cell arriving for an already-populated node
+        means two shards both recorded traffic for it, which violates the
+        ownership invariant the merge relies on.
+        """
+        if node_id in self._per_node:
+            raise ValueError(f"traffic cell for node {node_id} is already populated")
+        self._per_node[node_id] = cell
+
     def upload_usage_kbps(self, duration_seconds: float) -> Dict[NodeId, float]:
         """Average upload rate per node over ``duration_seconds`` in kbps."""
         return {

@@ -26,6 +26,7 @@ test, keeping the hot path at its pre-observer cost.
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -90,27 +91,64 @@ class NetworkConfig:
         kbps = self.per_node_caps_kbps.get(node_id, self.upload_cap_kbps)
         return BandwidthCap.from_kbps(kbps, max_backlog_seconds=self.max_backlog_seconds)
 
-    def build_latency(self, rng: RngRegistry, node_ids: list[NodeId]) -> LatencyModel:
-        """Instantiate the configured latency model."""
+    def build_latency(
+        self, rng: RngRegistry, node_ids: list[NodeId], per_sender: bool = False
+    ) -> LatencyModel:
+        """Instantiate the configured latency model.
+
+        ``per_sender=True`` keys the per-datagram draws by sending node (the
+        placement-invariant mode the sharded runner requires); the default
+        shares one stream, preserving the pre-sharding draw order bit for
+        bit.
+        """
         if self.latency_model == "constant":
             return ConstantLatency(self.base_latency)
         if self.latency_model == "uniform":
             from repro.network.latency import UniformLatency
 
-            return UniformLatency(rng, low=self.base_latency * 0.4, high=self.base_latency * 2.0)
+            return UniformLatency(
+                rng,
+                low=self.base_latency * 0.4,
+                high=self.base_latency * 2.0,
+                per_sender=per_sender,
+            )
         if self.latency_model == "lognormal":
             from repro.network.latency import LogNormalLatency
 
-            return LogNormalLatency(rng, median=self.base_latency)
+            return LogNormalLatency(rng, median=self.base_latency, per_sender=per_sender)
         if self.latency_model == "per-node":
-            return PerNodeQualityLatency(rng, node_ids, base=self.base_latency)
+            return PerNodeQualityLatency(
+                rng, node_ids, base=self.base_latency, per_sender=per_sender
+            )
         raise ValueError(f"unknown latency model {self.latency_model!r}")
 
-    def build_loss(self, rng: RngRegistry) -> LossModel:
+    def build_loss(self, rng: RngRegistry, per_sender: bool = False) -> LossModel:
         """Instantiate the configured in-flight loss model."""
         if self.random_loss <= 0.0:
             return NoLoss()
-        return UniformLoss(rng, probability=self.random_loss)
+        return UniformLoss(rng, probability=self.random_loss, per_sender=per_sender)
+
+
+class DatagramRouter(ABC):
+    """Decides where an accepted, un-lost datagram's delivery is scheduled.
+
+    The transport computes each datagram's absolute delivery time (upload
+    serialization plus propagation latency) and normally schedules the
+    delivery on its own simulator.  With a router installed
+    (:meth:`Network.set_router`) that decision is delegated: the sharded
+    runner's router schedules locally owned receivers via
+    :meth:`Network.schedule_delivery` and serializes everything else into
+    the current time window's outbound batch, to be re-scheduled verbatim on
+    the receiver's shard at the next window barrier.
+
+    Routers sit *after* the limiter and loss stages on purpose: congestion
+    and in-flight loss are sender-side physics and stay on the sender's
+    shard no matter where the receiver lives.
+    """
+
+    @abstractmethod
+    def dispatch(self, message: Message, deliver_time: float) -> None:
+        """Route one datagram due for delivery at absolute ``deliver_time``."""
 
 
 class Network:
@@ -140,6 +178,9 @@ class Network:
         self._endpoints: Dict[NodeId, _Endpoint] = {}
         self.stats = stats if stats is not None else TrafficStats()
         self._observers: Optional[List[Any]] = None
+        # ``None`` when deliveries are scheduled locally (the scalar path):
+        # like observers, the hot path then pays one identity test per send.
+        self._router: Optional[DatagramRouter] = None
 
     # ------------------------------------------------------------------
     # Registration and liveness
@@ -217,6 +258,32 @@ class Network:
         """The in-flight loss model in use."""
         return self._loss
 
+    def min_latency(self) -> float:
+        """Minimum possible propagation delay of this substrate.
+
+        The transport's contribution to the sharded backend's conservative
+        lookahead: serialization delay is non-negative, so no datagram sent
+        at ``t`` can be delivered before ``t + min_latency()``.
+        """
+        return self._latency.min_latency()
+
+    # ------------------------------------------------------------------
+    # Routing (the shard seam)
+    # ------------------------------------------------------------------
+    def set_router(self, router: Optional[DatagramRouter]) -> None:
+        """Install (or, with ``None``, remove) a delivery router."""
+        self._router = router
+
+    def schedule_delivery(self, message: Message, deliver_time: float) -> None:
+        """Schedule a routed datagram's delivery at absolute ``deliver_time``.
+
+        Called by routers for locally owned receivers and by the shard
+        runner when unpacking a window's inbound batch.  The time is applied
+        verbatim so a delivery crossing a shard boundary lands at the bit-
+        identical instant the scalar run would have used.
+        """
+        self._simulator.schedule_fire_and_forget_at(deliver_time, self._deliver, message)
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
@@ -255,6 +322,11 @@ class Network:
             return True
 
         delay = (finish_time - now) + self._latency.sample(sender, message.receiver)
+        if self._router is not None:
+            # ``now`` is the clock value schedule_fire_and_forget would add
+            # ``delay`` to, so the router sees the exact delivery instant.
+            self._router.dispatch(message, now + delay)
+            return True
         # Deliveries are scheduled by the million and never cancelled:
         # fire-and-forget scheduling skips the per-event handle allocation.
         self._simulator.schedule_fire_and_forget(delay, self._deliver, message)
@@ -301,6 +373,7 @@ class Network:
         stats = self.stats
         loss = self._loss
         latency_sample = self._latency.sample
+        router = self._router
         schedule = self._simulator.schedule_fire_and_forget
         deliver = self._deliver
         accepted = 0
@@ -314,7 +387,10 @@ class Network:
                 stats.record_in_flight_loss(sender, message.kind, message.size_bytes)
                 continue
             delay = (finish_time - now) + latency_sample(sender, message.receiver)
-            schedule(delay, deliver, message)
+            if router is not None:
+                router.dispatch(message, now + delay)
+            else:
+                schedule(delay, deliver, message)
         return accepted
 
     def _deliver(self, message: Message) -> None:

@@ -137,6 +137,16 @@ class SessionBuilder:
         self._overrides["telemetry"] = config
         return self
 
+    def shards(self, count: Optional[int]) -> "SessionBuilder":
+        """Shard count (``None``: classic scalar execution).
+
+        Any ``count >= 1`` arms the placement-invariant per-sender RNG mode
+        and makes :meth:`run` execute through the conservative time-window
+        runner (:mod:`repro.shard`).
+        """
+        self._overrides["shards"] = count
+        return self
+
     # ------------------------------------------------------------------
     # Outputs
     # ------------------------------------------------------------------
@@ -160,8 +170,15 @@ class SessionBuilder:
         return StreamingSession(self.to_config())
 
     def run(self) -> SessionResult:
-        """Build the session and run it to completion."""
-        return self.build().run()
+        """Run the composed session to completion.
+
+        Routed through :func:`~repro.core.session.run_session` so a config
+        carrying ``shards`` executes on the sharded runner; shard-less
+        configs take the exact scalar path :meth:`build` exposes.
+        """
+        from repro.core.session import run_session
+
+        return run_session(self.to_config())
 
     # ------------------------------------------------------------------
     # Alternate constructors
@@ -191,6 +208,7 @@ class SessionBuilder:
         builder.failure_detection_delay(spec.failure_detection_delay)
         builder.extra_time(spec.extra_time)
         builder.telemetry(spec.telemetry)
+        builder.shards(spec.shards)
         return builder
 
     @classmethod

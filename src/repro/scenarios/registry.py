@@ -240,3 +240,35 @@ def large_session() -> ScenarioSpec:
         max_backlog_seconds=20.0,
         extra_time=60.0,
     )
+
+
+@register_scenario
+def metropolis() -> ScenarioSpec:
+    """A 10,000-node metropolis at the paper's stream geometry, sharded.
+
+    Two orders of magnitude past the paper's 230-node deployment — the size
+    at which a city-scale live event would lean on gossip dissemination.
+    The stream keeps the paper's exact 101 + 9-packet windows at 600 kbps
+    but only 6 of them (≈ 9 s of stream): one session is already tens of
+    millions of events, and the scenario exists to exercise *scale*, not
+    stream length.
+
+    ``shards=4`` makes the sharded runner the default execution path (so
+    per-datagram randomness is placement-invariant per-sender); override
+    ``shards`` to match the host's cores, or set it to 1 to measure the
+    window protocol's overhead against ``run --shards`` parity output.
+    Expect a full run to take tens of minutes of CPU — this is the nightly
+    benchmark's territory, not the test suite's.
+    """
+    return ScenarioSpec(
+        name="metropolis",
+        description=(
+            "10,000 nodes streaming the paper's 600 kbps / 101+9-window "
+            "geometry across 4 conservative time-window shards."
+        ),
+        num_nodes=10_000,
+        stream=StreamConfig.paper_defaults(num_windows=6),
+        max_backlog_seconds=20.0,
+        extra_time=60.0,
+        shards=4,
+    )

@@ -119,6 +119,12 @@ class ScenarioSpec:
     telemetry:
         Optional :class:`~repro.telemetry.config.TelemetryConfig`, forwarded
         verbatim; ``None`` (the default) builds no telemetry objects.
+    shards:
+        Optional shard count, forwarded verbatim to
+        :attr:`~repro.core.session.SessionConfig.shards`.  ``None`` (the
+        default) runs the classic scalar session; ``k >= 1`` runs the
+        scenario through the conservative time-window runner
+        (:mod:`repro.shard`) with placement-invariant per-sender RNG.
     """
 
     name: str
@@ -146,12 +152,15 @@ class ScenarioSpec:
     failure_detection_delay: float = 5.0
     extra_time: float = 30.0
     telemetry: Optional[TelemetryConfig] = None
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a non-empty name")
         if self.num_nodes < 2:
             raise ValueError(f"a scenario needs at least 2 nodes, got {self.num_nodes!r}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1 (or None), got {self.shards!r}")
         # A perturbation scheduled past the stream's last packet is inert:
         # churn no longer disturbs dissemination and joiners receive nothing
         # (gossip is not a catch-up protocol).  This bites in practice when a

@@ -1,0 +1,40 @@
+"""Sharded execution: conservative time-window PDES across worker shards.
+
+A sharded run partitions a session's nodes across ``k`` workers
+(:mod:`repro.shard.partition`), advances every worker in lockstep
+conservative time windows sized by the transport's minimum latency
+(:mod:`repro.simulation.backend.sharded`), exchanges cross-shard datagrams
+at window barriers, and merges the per-shard fragments into one
+:class:`~repro.core.session.SessionResult`
+(:func:`~repro.shard.runner.merge_shard_results`).
+
+The defining contract: **any shard count produces byte-identical results to
+the scalar oracle** — ``StreamingSession(config).run()`` with the same
+config.  Sharding changes how a session executes, never what it computes.
+``tests/properties/test_shard_equivalence.py`` pins this for every
+registered scenario at 1, 2 and 4 shards.
+"""
+
+from repro.shard.partition import partition_nodes, shard_lookup, shard_of_node
+from repro.shard.runner import ShardProtocolError, merge_shard_results, run_sharded
+from repro.shard.session import (
+    ShardResult,
+    ShardRouter,
+    ShardSession,
+    conservative_lookahead,
+    session_horizon,
+)
+
+__all__ = [
+    "ShardProtocolError",
+    "ShardResult",
+    "ShardRouter",
+    "ShardSession",
+    "conservative_lookahead",
+    "merge_shard_results",
+    "partition_nodes",
+    "run_sharded",
+    "session_horizon",
+    "shard_lookup",
+    "shard_of_node",
+]

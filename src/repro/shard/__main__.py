@@ -1,0 +1,7 @@
+"""``python -m repro.shard`` — sharded-session command line."""
+
+import sys
+
+from repro.shard.cli import main
+
+sys.exit(main())

@@ -1,0 +1,54 @@
+"""Deterministic node → shard placement.
+
+Placement must be a pure function of ``(node_id, num_shards)`` — independent
+of process, platform, build order and shard count history — because every
+shard computes the full lookup table independently (workers route datagrams
+by it, the coordinator routes window batches by it, and the merge step
+re-homes per-node fragments by it).  A stable hash also keeps placement
+*uncorrelated* with node id structure: bandwidth classes are assigned by
+``node_id % 10`` (:mod:`repro.scenarios.spec`), so a modulo partitioner
+would pile one capacity class onto one shard.
+
+The hash reuses the repo's seed-derivation construction
+(:func:`repro.simulation.rng.derive_seed`-style SHA-256 over a labelled
+string), not Python's randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.network.message import NodeId
+
+
+def shard_of_node(node_id: NodeId, num_shards: int) -> int:
+    """The shard owning ``node_id`` in a ``num_shards``-way partition."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+    if num_shards == 1:
+        return 0
+    digest = hashlib.sha256(f"shard:node-{node_id}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+def shard_lookup(num_nodes: int, num_shards: int) -> List[int]:
+    """Owner shard of every node id in ``range(num_nodes)``, as a flat list.
+
+    The list form is the routing hot-path structure: one indexed load per
+    cross-checked datagram.
+    """
+    return [shard_of_node(node_id, num_shards) for node_id in range(num_nodes)]
+
+
+def partition_nodes(num_nodes: int, num_shards: int) -> List[List[NodeId]]:
+    """Node ids grouped by owner shard (ascending within each shard).
+
+    Shards can legitimately come out empty — a 2-node session split 4 ways
+    leaves at least two shards without nodes; such shards still participate
+    in the window protocol (they replicate the control plane).
+    """
+    groups: List[List[NodeId]] = [[] for _ in range(num_shards)]
+    for node_id in range(num_nodes):
+        groups[shard_of_node(node_id, num_shards)].append(node_id)
+    return groups

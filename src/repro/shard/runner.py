@@ -1,0 +1,441 @@
+"""Drive K shard workers through lockstep time windows and merge the results.
+
+The coordinator is deliberately thin: it never inspects simulation state,
+only window bookkeeping.  Each round it gathers one :class:`WindowReport`
+per shard, routes the outbound datagrams to their receivers' shards, and
+computes the next window bound from the global minimum pending-event time::
+
+    t_min      = min(all shard peeks, all in-flight delivery times)
+    next_bound = min(until, t_min + lookahead)        # while bound < until
+
+Every quantity in that formula is derived from the config (lookahead,
+horizon) or reported by the workers (peeks, delivery times), so workers in
+other processes reach bit-identical window sequences with no shared memory.
+
+Once the bound reaches the horizon the run enters the *drain loop*: workers
+execute inclusively up to ``until`` and keep exchanging until a round moves
+no datagrams and no shard holds an event at or below the horizon.
+
+Two runner modes share all of this logic through a channel object with one
+method (``exchange(report) -> reply``):
+
+* ``thread`` — workers are daemon threads, channels are queue pairs.  The
+  default: Python threads interleave rather than parallelize, but they add
+  no pickling or process-spawn cost, which keeps the equivalence suite and
+  small sessions fast.
+* ``process`` — workers are OS processes, channels are pipes.  Real
+  parallelism for sessions big enough to amortize the per-window pickle of
+  the cross-shard batches (see the README's honest measurement notes).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import traceback
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.core.session import SessionConfig, SessionResult
+from repro.metrics.delivery import DeliveryLog
+from repro.network.stats import TrafficStats
+from repro.streaming.schedule import StreamSchedule
+
+from repro.shard.partition import shard_lookup
+from repro.shard.session import (
+    ShardResult,
+    WindowReply,
+    WindowReport,
+    conservative_lookahead,
+    run_shard_worker,
+    session_horizon,
+)
+
+
+class ShardProtocolError(RuntimeError):
+    """A shard violated the window protocol or died mid-run."""
+
+
+class _Coordinator:
+    """Pure window bookkeeping: reports in, replies out, no I/O."""
+
+    def __init__(self, config: SessionConfig, num_shards: int) -> None:
+        self._num_shards = num_shards
+        self._lookup = shard_lookup(config.num_nodes, num_shards)
+        self._until = session_horizon(config)
+        self._lookahead = conservative_lookahead(config)
+
+    def replies(self, reports: List[WindowReport]) -> List[WindowReply]:
+        """One coordination round: route datagrams, pick the next bound."""
+        if len(reports) != self._num_shards:
+            raise ShardProtocolError(
+                f"expected {self._num_shards} window reports, got {len(reports)}"
+            )
+        bound = reports[0].bound
+        for report in reports:
+            if report.bound != bound:
+                raise ShardProtocolError(
+                    f"window bounds diverged: shard {report.shard_id} is at "
+                    f"{report.bound!r}, shard {reports[0].shard_id} at {bound!r}"
+                )
+        inbound: List[List] = [[] for _ in range(self._num_shards)]
+        moved = False
+        t_min: Optional[float] = None
+        for report in reports:
+            if report.peek_time is not None:
+                if t_min is None or report.peek_time < t_min:
+                    t_min = report.peek_time
+            for datagram in report.outbound:
+                moved = True
+                deliver_time = datagram[0]
+                if t_min is None or deliver_time < t_min:
+                    t_min = deliver_time
+                inbound[self._lookup[datagram[3].receiver]].append(datagram)
+        if bound < self._until:
+            # Conservative-window invariant: t_min >= bound, so the next
+            # bound strictly advances (by at least the lookahead, capped at
+            # the horizon) and jumps over empty stretches in one round.
+            done = False
+            next_bound = (
+                self._until if t_min is None else min(self._until, t_min + self._lookahead)
+            )
+        else:
+            # Drain loop at the horizon: done only when nothing moved and no
+            # shard still holds an event at or below ``until`` (events past
+            # the horizon stay pending, exactly as in a scalar run).
+            done = not moved and (t_min is None or t_min > self._until)
+            next_bound = self._until
+        return [
+            WindowReply(next_bound=next_bound, done=done, inbound=inbound[shard_id])
+            for shard_id in range(self._num_shards)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Thread mode
+# ----------------------------------------------------------------------
+class _ThreadChannel:
+    """Worker-side barrier endpoint backed by queue pairs."""
+
+    def __init__(self, inbox: "queue.Queue", replies: "queue.Queue") -> None:
+        self._inbox = inbox
+        self._replies = replies
+
+    def exchange(self, report: WindowReport) -> WindowReply:
+        self._inbox.put(("window", report))
+        reply = self._replies.get()
+        if reply is None:  # poison pill: another shard failed
+            raise ShardProtocolError("sharded run aborted")
+        return reply
+
+
+def _run_threaded(config: SessionConfig, num_shards: int) -> List[ShardResult]:
+    inbox: "queue.Queue" = queue.Queue()
+    reply_queues: List["queue.Queue"] = [queue.Queue() for _ in range(num_shards)]
+    results: List[Optional[ShardResult]] = [None] * num_shards
+
+    def worker(shard_id: int) -> None:
+        channel = _ThreadChannel(inbox, reply_queues[shard_id])
+        try:
+            results[shard_id] = run_shard_worker(config, shard_id, num_shards, channel)
+            inbox.put(("done", shard_id, None))
+        except BaseException as exc:  # noqa: BLE001 — forwarded to the caller
+            inbox.put(("error", shard_id, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(shard_id,), daemon=True, name=f"shard-{shard_id}")
+        for shard_id in range(num_shards)
+    ]
+    for thread in threads:
+        thread.start()
+
+    def abort(cause: BaseException) -> "NoReturn":  # noqa: F821 — doc only
+        for reply_queue in reply_queues:
+            reply_queue.put(None)
+        raise ShardProtocolError("a shard worker failed; run aborted") from cause
+
+    coordinator = _Coordinator(config, num_shards)
+    done = False
+    while not done:
+        reports: Dict[int, WindowReport] = {}
+        while len(reports) < num_shards:
+            tag, shard_id, payload = _tagged(inbox.get())
+            if tag == "error":
+                abort(payload)
+            if tag != "window":
+                raise ShardProtocolError(
+                    f"shard {shard_id} finished before the coordinator released it"
+                )
+            reports[payload.shard_id] = payload
+        round_replies = coordinator.replies([reports[i] for i in range(num_shards)])
+        for shard_id, reply in enumerate(round_replies):
+            reply_queues[shard_id].put(reply)
+        done = round_replies[0].done
+
+    finished = 0
+    while finished < num_shards:
+        tag, shard_id, payload = _tagged(inbox.get())
+        if tag == "error":
+            abort(payload)
+        if tag == "window":
+            raise ShardProtocolError(f"shard {shard_id} kept running after completion")
+        finished += 1
+    for thread in threads:
+        thread.join()
+    return [result for result in results if result is not None]
+
+
+def _tagged(message):
+    if isinstance(message, tuple) and len(message) == 3:
+        return message
+    if isinstance(message, tuple) and len(message) == 2 and message[0] == "window":
+        return ("window", message[1].shard_id, message[1])
+    raise ShardProtocolError(f"malformed coordinator message: {message!r}")
+
+
+# ----------------------------------------------------------------------
+# Process mode
+# ----------------------------------------------------------------------
+class _ShardAborted(BaseException):
+    """Internal: coordinator told this worker to stop (peer failure)."""
+
+
+class _PipeChannel:
+    """Worker-side barrier endpoint backed by one end of a pipe."""
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+
+    def exchange(self, report: WindowReport) -> WindowReply:
+        self._connection.send(("window", report))
+        tag, payload = self._connection.recv()
+        if tag == "abort":
+            raise _ShardAborted()
+        if tag != "reply":
+            raise ShardProtocolError(f"unexpected coordinator message {tag!r}")
+        return payload
+
+
+def _process_worker_main(config, shard_id, num_shards, connection) -> None:
+    try:
+        result = run_shard_worker(config, shard_id, num_shards, _PipeChannel(connection))
+        connection.send(("result", result))
+    except _ShardAborted:
+        pass
+    except BaseException:  # noqa: BLE001 — serialized back to the parent
+        try:
+            connection.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        connection.close()
+
+
+def _run_processes(config: SessionConfig, num_shards: int) -> List[ShardResult]:
+    context = multiprocessing.get_context()
+    pipes = [context.Pipe() for _ in range(num_shards)]
+    workers = [
+        context.Process(
+            target=_process_worker_main,
+            args=(config, shard_id, num_shards, pipes[shard_id][1]),
+            name=f"shard-{shard_id}",
+        )
+        for shard_id in range(num_shards)
+    ]
+    for worker, (_, child_end) in zip(workers, pipes):
+        worker.start()
+        child_end.close()  # parent keeps only its end
+    connections = [parent_end for parent_end, _ in pipes]
+
+    def abort(detail: str) -> "NoReturn":  # noqa: F821 — doc only
+        for connection in connections:
+            try:
+                connection.send(("abort", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+        raise ShardProtocolError(f"sharded run failed: {detail}")
+
+    def receive(shard_id: int):
+        try:
+            return connections[shard_id].recv()
+        except EOFError:
+            abort(f"shard {shard_id} died without reporting")
+
+    try:
+        coordinator = _Coordinator(config, num_shards)
+        done = False
+        while not done:
+            reports: List[WindowReport] = []
+            for shard_id in range(num_shards):
+                tag, payload = receive(shard_id)
+                if tag == "error":
+                    abort(f"shard {shard_id} raised:\n{payload}")
+                if tag != "window":
+                    abort(f"shard {shard_id} sent {tag!r} mid-run")
+                reports.append(payload)
+            round_replies = coordinator.replies(reports)
+            for shard_id, reply in enumerate(round_replies):
+                connections[shard_id].send(("reply", reply))
+            done = round_replies[0].done
+
+        results: List[ShardResult] = []
+        for shard_id in range(num_shards):
+            tag, payload = receive(shard_id)
+            if tag == "error":
+                abort(f"shard {shard_id} raised:\n{payload}")
+            if tag != "result":
+                abort(f"shard {shard_id} sent {tag!r} instead of its result")
+            results.append(payload)
+    finally:
+        for connection in connections:
+            connection.close()
+    for worker in workers:
+        worker.join()
+    return results
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def merge_shard_results(
+    config: SessionConfig, fragments: List[ShardResult]
+) -> SessionResult:
+    """Reassemble per-shard fragments into one scalar-identical result.
+
+    The merge relies on strict ownership: a node's deliveries, traffic cell
+    and stats are recorded exclusively on its owner shard (sends are charged
+    on the sender's shard, receptions happen on the receiver's shard, and a
+    node plays both roles only where it lives).  Re-homing is therefore pure
+    relocation — nothing is ever summed across shards except the event
+    counter, which subtracts the replicated control-plane firings.
+    """
+    if not fragments:
+        raise ValueError("cannot merge an empty list of shard results")
+    fragments = sorted(fragments, key=lambda fragment: fragment.shard_id)
+    num_shards = fragments[0].num_shards
+    if [fragment.shard_id for fragment in fragments] != list(range(num_shards)):
+        raise ShardProtocolError(
+            f"incomplete shard results: got ids "
+            f"{[fragment.shard_id for fragment in fragments]!r} for {num_shards} shards"
+        )
+    lookup = shard_lookup(config.num_nodes, num_shards)
+
+    for fragment in fragments:
+        for node_id in fragment.deliveries.raw():
+            if lookup[node_id] != fragment.shard_id:
+                raise ShardProtocolError(
+                    f"shard {fragment.shard_id} recorded deliveries for node "
+                    f"{node_id}, owned by shard {lookup[node_id]}"
+                )
+        for node_id in fragment.traffic.raw():
+            if lookup[node_id] != fragment.shard_id:
+                raise ShardProtocolError(
+                    f"shard {fragment.shard_id} recorded traffic for node "
+                    f"{node_id}, owned by shard {lookup[node_id]}"
+                )
+
+    first = fragments[0]
+    for fragment in fragments[1:]:
+        if fragment.failed_nodes != first.failed_nodes:
+            raise ShardProtocolError(
+                "shards disagree on the failure history — the replicated "
+                "control plane diverged"
+            )
+        if fragment.late_joiners != first.late_joiners:
+            raise ShardProtocolError(
+                "shards disagree on the late-joiner set — the replicated "
+                "control plane diverged"
+            )
+        if fragment.control_events != first.control_events:
+            raise ShardProtocolError(
+                "shards disagree on the control-event count — the replicated "
+                "control plane diverged"
+            )
+        if fragment.end_time != first.end_time:
+            raise ShardProtocolError("shards disagree on the session end time")
+
+    schedule = StreamSchedule(config.stream)
+    deliveries = DeliveryLog(schedule)
+    traffic = TrafficStats()
+    node_stats = {}
+    for node_id in range(config.num_nodes):
+        fragment = fragments[lookup[node_id]]
+        node_log = fragment.deliveries.raw().get(node_id)
+        if node_log:
+            # Per-node insertion order is chronological on the owner shard;
+            # replaying it preserves the lag accumulators' delivery order.
+            for packet_id, delivered_at in node_log.items():
+                deliveries.record(node_id, packet_id, delivered_at)
+        cell = fragment.traffic.raw().get(node_id)
+        if cell is not None:
+            traffic.adopt_cell(node_id, cell)
+        stats = fragment.node_stats.get(node_id)
+        if stats is not None:
+            node_stats[node_id] = stats
+
+    events_processed = (
+        sum(fragment.events_processed - fragment.control_events for fragment in fragments)
+        + first.control_events
+    )
+    telemetry = None
+    if any(fragment.telemetry is not None for fragment in fragments):
+        telemetry = tuple(fragment.telemetry for fragment in fragments)
+    return SessionResult(
+        config=config,
+        schedule=schedule,
+        deliveries=deliveries,
+        traffic=traffic,
+        node_stats=node_stats,
+        failed_nodes=list(first.failed_nodes),
+        events_processed=events_processed,
+        end_time=first.end_time,
+        late_joiners=list(first.late_joiners),
+        telemetry=telemetry,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_sharded(
+    config: SessionConfig,
+    shards: Optional[int] = None,
+    mode: str = "thread",
+) -> SessionResult:
+    """Run ``config`` partitioned across shard workers; merge the fragments.
+
+    Parameters
+    ----------
+    config:
+        The session to run.  ``config.shards`` supplies the shard count when
+        the ``shards`` argument is ``None``; if both are given, the argument
+        wins and the config is re-stamped so workers see the same value.
+    shards:
+        Optional shard-count override (must be ``>= 1``).
+    mode:
+        ``"thread"`` (default; no pickling, interleaved execution) or
+        ``"process"`` (true parallelism, per-window pickling).
+
+    Returns the same :class:`~repro.core.session.SessionResult` a scalar
+    ``StreamingSession(config).run()`` of the identical config produces —
+    byte-identical for any shard count.
+    """
+    num_shards = shards if shards is not None else config.shards
+    if num_shards is None:
+        raise ValueError("run_sharded needs a shard count (argument or config.shards)")
+    if num_shards < 1:
+        raise ValueError(f"shards must be >= 1, got {num_shards!r}")
+    if config.shards != num_shards:
+        config = replace(config, shards=num_shards)
+    if mode == "thread":
+        fragments = _run_threaded(config, num_shards)
+    elif mode == "process":
+        fragments = _run_processes(config, num_shards)
+    else:
+        raise ValueError(f"unknown sharded runner mode {mode!r} (thread/process)")
+    return merge_shard_results(config, fragments)

@@ -1,0 +1,316 @@
+"""One shard of a sharded session: a replica control plane, a slice of nodes.
+
+Every shard builds the *full deterministic control plane* of the session —
+stream schedule, membership directory with every initially-present node,
+armed churn/join plans, latency quality factors for all nodes — exactly as
+the scalar :class:`~repro.core.session.StreamingSession` would.  Replication
+is what makes placement irrelevant: partner selection, churn victim choice
+and failure bookkeeping consume identical RNG streams on every shard, so no
+coordination is needed for any membership decision.
+
+What is *not* replicated is the data plane: a shard instantiates, registers
+and starts only the :class:`~repro.core.node.GossipNode` objects it owns
+(:func:`repro.shard.partition.shard_of_node`).  Datagrams between owned
+nodes stay on the local event queue; datagrams to remote nodes are diverted
+by :class:`ShardRouter` into the current time window's outbound batch and
+re-scheduled verbatim — same absolute delivery instant — on the receiving
+shard at the next window barrier (:mod:`repro.simulation.backend.sharded`).
+
+Because the transport's per-datagram randomness runs in per-sender streams
+when :attr:`~repro.core.session.SessionConfig.shards` is set, a datagram's
+latency and loss draws are identical no matter how many shards exist — the
+scalar oracle, 1 shard, 2 shards and 4 shards all compute the same floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.node import NodeStats
+from repro.core.session import SessionConfig, StreamingSession
+from repro.metrics.delivery import DeliveryLog
+from repro.network.message import Message, NodeId
+from repro.network.stats import TrafficStats
+from repro.network.transport import DatagramRouter
+from repro.simulation.backend.sharded import ShardedBackend
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RngRegistry
+
+from repro.shard.partition import shard_lookup
+
+#: One cross-shard datagram: ``(deliver_time, sender, seq, message)``.
+#: ``seq`` is the origin shard's monotone dispatch counter; since a sender is
+#: owned by exactly one shard, ``(sender, seq)`` is globally unique and the
+#: triple ``(deliver_time, sender, seq)`` is a total order over any batch.
+RoutedDatagram = Tuple[float, NodeId, int, Message]
+
+
+def conservative_lookahead(config: SessionConfig) -> float:
+    """The window size every shard and the coordinator must agree on.
+
+    This is the transport's minimum propagation delay: upload serialization
+    only adds to it, so no datagram sent at ``t`` can be delivered before
+    ``t + lookahead``.  Computed from the *config* (via a throwaway model
+    instance with no registered nodes) so workers in other processes derive
+    the bit-identical float without ever seeing the live network object.
+    """
+    probe = config.network.build_latency(RngRegistry(0), [])
+    lookahead = probe.min_latency()
+    if lookahead <= 0.0:
+        raise ValueError(
+            f"cannot shard this session: latency model "
+            f"{config.network.latency_model!r} has min_latency() == "
+            f"{lookahead!r}, so no conservative time window exists"
+        )
+    return lookahead
+
+
+def session_horizon(config: SessionConfig) -> float:
+    """The run's ``until`` — the same expression the scalar session uses."""
+    return config.stream.end_time + config.extra_time
+
+
+@dataclass
+class WindowReport:
+    """What one shard tells the coordinator at a window barrier."""
+
+    shard_id: int
+    bound: float
+    outbound: List[RoutedDatagram]
+    #: Earliest pending local event after the window (``None``: empty queue).
+    peek_time: Optional[float]
+
+
+@dataclass
+class WindowReply:
+    """The coordinator's answer: merged inbound traffic plus the next bound."""
+
+    next_bound: float
+    done: bool
+    inbound: List[RoutedDatagram] = field(default_factory=list)
+
+
+@dataclass
+class ShardResult:
+    """The picklable fragment one shard contributes to the merged result.
+
+    ``control_events`` counts the perturbation-injector firings (churn and
+    join events), which every shard replicates; the merge subtracts the
+    duplicates so the combined ``events_processed`` matches the scalar run.
+    """
+
+    shard_id: int
+    num_shards: int
+    owned: Tuple[NodeId, ...]
+    deliveries: DeliveryLog
+    traffic: TrafficStats
+    node_stats: Dict[NodeId, NodeStats]
+    failed_nodes: List[NodeId]
+    late_joiners: List[NodeId]
+    events_processed: int
+    control_events: int
+    end_time: float
+    telemetry: Optional[object] = None
+
+
+class ShardRouter(DatagramRouter):
+    """Routes accepted datagrams: owned receivers locally, the rest batched.
+
+    Remote datagrams carry their absolute delivery time plus a monotone
+    per-shard sequence number; the receiving shard sorts its inbound batch
+    by ``(deliver_time, sender, seq)`` before scheduling, making the merge
+    order independent of how the coordinator concatenated the batches.
+    """
+
+    __slots__ = ("_network", "_shard_id", "_lookup", "_outbound", "_seq")
+
+    def __init__(self, network, shard_id: int, lookup: List[int]) -> None:
+        self._network = network
+        self._shard_id = shard_id
+        self._lookup = lookup
+        self._outbound: List[RoutedDatagram] = []
+        self._seq = 0
+
+    def dispatch(self, message: Message, deliver_time: float) -> None:
+        if self._lookup[message.receiver] == self._shard_id:
+            self._network.schedule_delivery(message, deliver_time)
+            return
+        self._seq += 1
+        self._outbound.append((deliver_time, message.sender, self._seq, message))
+
+    def flush(self) -> List[RoutedDatagram]:
+        """Take (and clear) the current window's outbound batch."""
+        batch = self._outbound
+        self._outbound = []
+        return batch
+
+
+class ShardSession(StreamingSession):
+    """A :class:`StreamingSession` restricted to one shard's nodes.
+
+    Parameters
+    ----------
+    config:
+        The full session config (``config.shards`` must be set so the
+        transport arms per-sender RNG streams).
+    shard_id / num_shards:
+        This shard's slot in the partition.
+    channel:
+        Barrier transport to the coordinator: an object with
+        ``exchange(report: WindowReport) -> WindowReply`` that blocks until
+        every shard has reached the same window bound.
+    """
+
+    def __init__(self, config: SessionConfig, shard_id: int, num_shards: int, channel) -> None:
+        if config.shards is None:
+            raise ValueError("ShardSession requires a config with shards set")
+        if not 0 <= shard_id < num_shards:
+            raise ValueError(f"shard_id {shard_id!r} out of range for {num_shards} shards")
+        super().__init__(config)
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self._channel = channel
+        self._lookup = shard_lookup(config.num_nodes, num_shards)
+        self._owned = tuple(
+            node_id
+            for node_id in range(config.num_nodes)
+            if self._lookup[node_id] == shard_id
+        )
+        self._router: Optional[ShardRouter] = None
+        self._control_events = 0
+
+    @property
+    def owned_nodes(self) -> Tuple[NodeId, ...]:
+        """Ascending ids of the nodes this shard instantiates."""
+        return self._owned
+
+    # ------------------------------------------------------------------
+    # Build overrides (everything else is the scalar build, replicated)
+    # ------------------------------------------------------------------
+    def _create_simulator(self) -> Simulator:
+        backend = ShardedBackend(
+            conservative_lookahead(self.config), barrier=self._window_barrier
+        )
+        return Simulator(seed=self.config.seed, backend=backend)
+
+    def _build_network(self) -> None:
+        super()._build_network()
+        assert self.network is not None
+        self._router = ShardRouter(self.network, self.shard_id, self._lookup)
+        self.network.set_router(self._router)
+
+    def _nodes_to_build(self) -> List[NodeId]:
+        return list(self._owned)
+
+    def _build_source(self) -> None:
+        # Only the shard owning node 0 drives the stream; the emitter's
+        # publication events must exist exactly once across the fleet.
+        if self.config.source_id in self.nodes:
+            super()._build_source()
+
+    def _build_telemetry(self) -> None:
+        # Each shard traces into its own file (suffix ``.shardK``); the trace
+        # header carries (shard_id, num_shards) so tools can align tracks.
+        telemetry = self.config.telemetry
+        if telemetry is not None and telemetry.trace_path is not None:
+            from dataclasses import replace
+
+            self.config = replace(
+                self.config,
+                telemetry=telemetry.with_overrides(
+                    trace_path=f"{telemetry.trace_path}.shard{self.shard_id}"
+                ),
+            )
+        super()._build_telemetry()
+
+    # ------------------------------------------------------------------
+    # Perturbation callbacks: replicated decisions, owned-only application
+    # ------------------------------------------------------------------
+    def _apply_failures(self, victims: List[NodeId]) -> None:
+        assert self.network is not None and self.directory is not None
+        assert self.simulator is not None
+        self._control_events += 1
+        now = self.simulator.now
+        for node_id in victims:
+            # Directory and failure bookkeeping are replicated on every
+            # shard (partner selection must exclude the victim everywhere);
+            # only the owner has a live node object and endpoint to crash
+            # (fail_node is a no-op for unregistered ids).
+            self._failed_nodes.append(node_id)
+            self.directory.mark_failed(node_id, now)
+            self.network.fail_node(node_id)
+            node = self.nodes.get(node_id)
+            if node is not None:
+                node.fail()
+
+    def _apply_joins(self, joiners: List[NodeId]) -> None:
+        assert self.directory is not None
+        self._control_events += 1
+        for node_id in joiners:
+            self.directory.add(node_id)
+            node = self.nodes.get(node_id)
+            if node is not None:
+                node.start()
+
+    # ------------------------------------------------------------------
+    # Window barrier (installed on the sharded dispatch backend)
+    # ------------------------------------------------------------------
+    def _window_barrier(self, bound: float) -> Tuple[float, bool]:
+        assert self.simulator is not None and self.network is not None
+        assert self._router is not None
+        report = WindowReport(
+            shard_id=self.shard_id,
+            bound=bound,
+            outbound=self._router.flush(),
+            peek_time=self.simulator._queue.peek_time(),
+        )
+        reply = self._channel.exchange(report)
+        inbound = sorted(reply.inbound, key=lambda datagram: datagram[:3])
+        for deliver_time, _sender, _seq, message in inbound:
+            self.network.schedule_delivery(message, deliver_time)
+        return reply.next_bound, reply.done
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_shard(self) -> ShardResult:
+        """Run this shard to the session horizon; return its fragment."""
+        if not self._built:
+            self.build()
+        assert self.simulator is not None and self.schedule is not None
+        assert self.network is not None
+
+        late = set(self._late_joiners)
+        for node_id, node in self.nodes.items():
+            if node_id not in late:
+                node.start()
+        if self.emitter is not None:
+            self.emitter.start()
+
+        self.simulator.run(until=session_horizon(self.config))
+
+        telemetry_snapshot = (
+            self.telemetry.finalize() if self.telemetry is not None else None
+        )
+        return ShardResult(
+            shard_id=self.shard_id,
+            num_shards=self.num_shards,
+            owned=self._owned,
+            deliveries=self.deliveries,
+            traffic=self.network.stats,
+            node_stats={node_id: node.stats for node_id, node in self.nodes.items()},
+            failed_nodes=list(self._failed_nodes),
+            late_joiners=list(self._late_joiners),
+            events_processed=self.simulator.events_processed,
+            control_events=self._control_events,
+            end_time=self.simulator.now,
+            telemetry=telemetry_snapshot,
+        )
+
+
+def run_shard_worker(
+    config: SessionConfig, shard_id: int, num_shards: int, channel
+) -> ShardResult:
+    """Worker entry point shared by the thread and process runners."""
+    return ShardSession(config, shard_id, num_shards, channel).run_shard()

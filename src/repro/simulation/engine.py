@@ -24,16 +24,13 @@ event — measured in ``benchmarks/bench_observer_overhead.py``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Union
+from typing import Any, List, Optional, Union
 
 from repro.simulation.backend import SimulationBackend, resolve_backend
 from repro.simulation.clock import SimulationClock
 from repro.simulation.errors import SimulationStateError, SimulationTimeError
 from repro.simulation.event_queue import EventCallback, EventHandle, EventQueue
 from repro.simulation.rng import RngRegistry
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.simulation.timers import PeriodicTimer
 
 
 class Simulator:
@@ -132,6 +129,22 @@ class Simulator:
             raise SimulationTimeError(f"cannot schedule with negative delay {delay!r}")
         self._queue.push_unhandled(self._clock.now + delay, callback, *args)
 
+    def schedule_fire_and_forget_at(
+        self, time: float, callback: EventCallback, *args: Any
+    ) -> None:
+        """Absolute-time variant of :meth:`schedule_fire_and_forget`.
+
+        Used by the datagram router seam: a delivery time computed on one
+        shard must be re-scheduled *verbatim* on the receiving shard, without
+        a round trip through a relative delay (which would not survive float
+        arithmetic bit-exactly).
+        """
+        if time < self._clock.now:
+            raise SimulationTimeError(
+                f"cannot schedule at {time!r}, which is before now ({self._clock.now!r})"
+            )
+        self._queue.push_unhandled(time, callback, *args)
+
     def cancel(self, handle: Optional[EventHandle]) -> None:
         """Cancel a previously scheduled event.  ``None`` is accepted and ignored."""
         if handle is not None:
@@ -224,34 +237,3 @@ class Simulator:
             f"Simulator(now={self.now:.3f}, pending={self.pending_events}, "
             f"processed={self._events_processed})"
         )
-
-
-def call_every(
-    simulator: Simulator,
-    period: float,
-    callback: Callable[[], None],
-    start_delay: float = 0.0,
-) -> "PeriodicTimer":
-    """Deprecated: construct a :class:`PeriodicTimer` and call ``start()``.
-
-    This wrapper predates :class:`repro.simulation.timers.PeriodicTimer` and
-    survives only for backwards compatibility.  It returns the started timer
-    (not an :class:`EventHandle`, as early versions claimed): stop it with
-    ``timer.stop()``, not ``simulator.cancel()``.
-
-    .. deprecated:: 1.0
-        Use ``PeriodicTimer(simulator, period, callback, start_delay=...)``
-        followed by ``start()`` instead.
-    """
-    import warnings
-
-    from repro.simulation.timers import PeriodicTimer
-
-    warnings.warn(
-        "call_every() is deprecated; build a PeriodicTimer and call start()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    timer = PeriodicTimer(simulator, period, callback, start_delay=start_delay)
-    timer.start()
-    return timer

@@ -144,7 +144,7 @@ def session_meta(session) -> Dict[str, object]:
 
     config = session.config
     stream = config.stream
-    return {
+    meta: Dict[str, object] = {
         "created_unix": _time.time(),
         "num_nodes": config.num_nodes,
         "seed": config.seed,
@@ -159,6 +159,12 @@ def session_meta(session) -> Dict[str, object]:
             "end_time": stream.end_time,
         },
     }
+    # Sharded runs trace one file per shard; the header says which fragment
+    # of the fleet this is so tooling can line the tracks up side by side.
+    shard_id = getattr(session, "shard_id", None)
+    if shard_id is not None:
+        meta["shard"] = {"id": shard_id, "num_shards": session.num_shards}
+    return meta
 
 
 __all__ = ["SessionTelemetry", "TelemetrySnapshot", "session_meta"]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.scale import (
+    METROPOLIS,
     PAPER,
     REDUCED,
     SMOKE,
@@ -20,13 +21,20 @@ class TestPresets:
         assert scale_by_name("reduced") is REDUCED
         assert scale_by_name("paper") is PAPER
         assert scale_by_name("xlarge") is XLARGE
+        assert scale_by_name("metropolis") is METROPOLIS
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError):
             scale_by_name("galactic")
 
     def test_available_scales(self):
-        assert available_scales() == ["paper", "reduced", "smoke", "xlarge"]
+        assert available_scales() == [
+            "metropolis",
+            "paper",
+            "reduced",
+            "smoke",
+            "xlarge",
+        ]
 
     def test_paper_scale_matches_paper_constants(self):
         stream = PAPER.stream_config()
@@ -42,7 +50,7 @@ class TestPresets:
         assert SMOKE.stream_duration < REDUCED.stream_duration
 
     def test_fanout_grids_fit_system_size(self):
-        for scale in (SMOKE, REDUCED, PAPER, XLARGE):
+        for scale in (SMOKE, REDUCED, PAPER, XLARGE, METROPOLIS):
             assert max(scale.fanout_grid) < scale.num_nodes
 
     def test_xlarge_scale_keeps_paper_stream_geometry(self):
@@ -57,6 +65,15 @@ class TestPresets:
         assert not SMOKE.fanout_collapse_expected
         for scale in (REDUCED, PAPER, XLARGE):
             assert scale.fanout_collapse_expected
+
+    def test_metropolis_scale_matches_its_scenario(self):
+        stream = METROPOLIS.stream_config()
+        assert METROPOLIS.num_nodes == 10_000
+        assert stream.rate_kbps == 600.0
+        assert stream.source_packets_per_window == 101
+        assert stream.fec_packets_per_window == 9
+        assert METROPOLIS.optimal_fanout in METROPOLIS.fanout_grid
+        assert METROPOLIS.fanout_collapse_expected
 
     def test_xlarge_session_config_composes_through_the_builder(self):
         config = XLARGE.session_config(fanout=10, cap_kbps=1000.0)

@@ -63,6 +63,82 @@ class TestLogNormalLatency:
             LogNormalLatency(rng, median=0.0)
 
 
+class TestMinLatency:
+    """min_latency() is the sharded backend's conservative lookahead: it
+    must lower-bound *every* possible draw, not just typical ones."""
+
+    def test_constant_floor_is_the_delay(self):
+        assert ConstantLatency(0.08).min_latency() == 0.08
+
+    def test_uniform_floor_is_the_low_bound(self, rng):
+        model = UniformLatency(rng, low=0.02, high=0.1)
+        assert model.min_latency() == 0.02
+        assert all(model.sample(0, 1) >= 0.02 for _ in range(500))
+
+    def test_lognormal_floor_is_the_minimum(self, rng):
+        model = LogNormalLatency(rng, median=0.06, sigma=2.0, minimum=0.004)
+        assert model.min_latency() == 0.004
+        assert all(model.sample(0, 1) >= 0.004 for _ in range(500))
+
+    def test_per_node_floor_is_the_minimum(self, rng):
+        model = PerNodeQualityLatency(
+            rng, node_ids=[0, 1], base=0.001, quality_sigma=2.0, minimum=0.006
+        )
+        assert model.min_latency() == 0.006
+        assert all(model.sample(0, 1) >= 0.006 for _ in range(500))
+
+
+class TestPerSenderStreams:
+    """per_sender=True makes a sender's draws a function of its own send
+    history only — the placement invariance the sharded runner relies on."""
+
+    def _interleaved(self, model, sender, count, noise_senders=(7, 8)):
+        draws = []
+        for _ in range(count):
+            for other in noise_senders:
+                model.sample(other, 1)
+            draws.append(model.sample(sender, 2))
+        return draws
+
+    def test_uniform_draws_survive_interleaving(self):
+        solo = UniformLatency(RngRegistry(9), per_sender=True)
+        expected = [solo.sample(1, 2) for _ in range(6)]
+        mixed = UniformLatency(RngRegistry(9), per_sender=True)
+        assert self._interleaved(mixed, sender=1, count=6) == expected
+
+    def test_lognormal_draws_survive_interleaving(self):
+        solo = LogNormalLatency(RngRegistry(9), per_sender=True)
+        expected = [solo.sample(1, 2) for _ in range(6)]
+        mixed = LogNormalLatency(RngRegistry(9), per_sender=True)
+        assert self._interleaved(mixed, sender=1, count=6) == expected
+
+    def test_per_node_jitter_survives_interleaving(self):
+        node_ids = list(range(10))
+        solo = PerNodeQualityLatency(RngRegistry(9), node_ids, per_sender=True)
+        expected = [solo.sample(1, 2) for _ in range(6)]
+        mixed = PerNodeQualityLatency(RngRegistry(9), node_ids, per_sender=True)
+        assert self._interleaved(mixed, sender=1, count=6) == expected
+
+    def test_shared_stream_is_interleaving_sensitive(self):
+        # The contrast that motivates per-sender mode: the default shared
+        # stream hands the i-th draw to the i-th send *globally*, so other
+        # senders' traffic shifts everyone's values.
+        solo = UniformLatency(RngRegistry(9))
+        expected = [solo.sample(1, 2) for _ in range(6)]
+        mixed = UniformLatency(RngRegistry(9))
+        assert self._interleaved(mixed, sender=1, count=6) != expected
+
+    def test_quality_table_is_identical_across_modes(self):
+        # Quality factors come from their own construction-time stream, so
+        # arming per-sender sampling must not move a single factor.
+        node_ids = list(range(8))
+        shared = PerNodeQualityLatency(RngRegistry(3), node_ids)
+        keyed = PerNodeQualityLatency(RngRegistry(3), node_ids, per_sender=True)
+        assert [shared.quality(i) for i in node_ids] == [
+            keyed.quality(i) for i in node_ids
+        ]
+
+
 class TestPerNodeQualityLatency:
     def test_quality_factors_are_stable_per_node(self, rng):
         model = PerNodeQualityLatency(rng, node_ids=list(range(10)))

@@ -80,3 +80,40 @@ class TestCompositeLoss:
         model = CompositeLoss([NoLoss(), UniformLoss(rng, 0.1)])
         assert "no random loss" in model.describe()
         assert "0.100" in model.describe()
+
+
+class TestPerSenderLossStreams:
+    """per_sender=True keys loss draws by the sending node — a sender's
+    outcomes depend only on its own send history (placement invariance for
+    the sharded runner), mirroring the latency models' mode."""
+
+    def _interleaved(self, model, sender, count):
+        outcomes = []
+        for _ in range(count):
+            model.is_lost(Message(sender=7, receiver=1, kind="serve", size_bytes=100))
+            outcomes.append(
+                model.is_lost(
+                    Message(sender=sender, receiver=2, kind="serve", size_bytes=100)
+                )
+            )
+        return outcomes
+
+    def test_uniform_loss_draws_survive_interleaving(self):
+        solo = UniformLoss(RngRegistry(9), probability=0.5, per_sender=True)
+        message = Message(sender=1, receiver=2, kind="serve", size_bytes=100)
+        expected = [solo.is_lost(message) for _ in range(32)]
+        mixed = UniformLoss(RngRegistry(9), probability=0.5, per_sender=True)
+        assert self._interleaved(mixed, sender=1, count=32) == expected
+
+    def test_per_node_loss_draws_survive_interleaving(self):
+        probabilities = {1: 0.5, 2: 0.5}
+        solo = PerNodeLoss(RngRegistry(9), probabilities, default=0.5, per_sender=True)
+        message = Message(sender=1, receiver=2, kind="serve", size_bytes=100)
+        expected = [solo.is_lost(message) for _ in range(32)]
+        mixed = PerNodeLoss(RngRegistry(9), probabilities, default=0.5, per_sender=True)
+        assert self._interleaved(mixed, sender=1, count=32) == expected
+
+    def test_certain_outcomes_need_no_stream(self):
+        # p == 0 short-circuits before touching any RNG, in both modes.
+        model = UniformLoss(RngRegistry(9), probability=0.0, per_sender=True)
+        assert not any(model.is_lost(make_message()) for _ in range(50))

@@ -34,6 +34,15 @@ PER_SCENARIO_OVERRIDES = {
         "num_nodes": 16,
         "stream": build_scenario("homogeneous").stream,
     },
+    # The sharded runner installs its own dispatch backend, which would
+    # bypass the $REPRO_BACKEND request this suite is about; run the
+    # metropolis geometry scalar here (sharded parity has its own suite,
+    # tests/properties/test_shard_equivalence.py).
+    "metropolis": {
+        "num_nodes": 16,
+        "stream": build_scenario("homogeneous").stream,
+        "shards": None,
+    },
 }
 
 

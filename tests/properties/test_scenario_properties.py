@@ -31,6 +31,13 @@ PER_SCENARIO_OVERRIDES = {
         "num_nodes": 16,
         "stream": build_scenario("homogeneous").stream,
     },
+    # Shrunk like the flagship; metropolis keeps its shards so the property
+    # also pins determinism of the sharded runner across fresh builds.
+    "metropolis": {
+        "num_nodes": 16,
+        "stream": build_scenario("homogeneous").stream,
+        "shards": 2,
+    },
 }
 
 

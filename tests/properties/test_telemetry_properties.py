@@ -29,6 +29,13 @@ PER_SCENARIO_OVERRIDES = {
         "num_nodes": 16,
         "stream": build_scenario("homogeneous").stream,
     },
+    # Scalar here: this suite inspects a single TelemetrySnapshot, and a
+    # sharded run returns one snapshot per shard (a tuple).
+    "metropolis": {
+        "num_nodes": 16,
+        "stream": build_scenario("homogeneous").stream,
+        "shards": None,
+    },
 }
 
 

@@ -22,6 +22,7 @@ EXPECTED_SCENARIOS = (
     "lossy-wan",
     "eager-push",
     "large-session",
+    "metropolis",
 )
 
 
@@ -128,3 +129,16 @@ class TestScenarioSemantics:
         # parametrized test above runs it at 18 nodes).
         small = build_scenario("large-session", num_nodes=24)
         assert small.stream.packets_per_window == 110
+
+    def test_metropolis_scenario_is_sharded_at_paper_geometry(self):
+        spec = build_scenario("metropolis")
+        assert spec.num_nodes == 10_000
+        assert spec.shards == 4
+        assert spec.stream.source_packets_per_window == 101
+        assert spec.stream.fec_packets_per_window == 9
+        assert spec.stream.rate_kbps == 600.0
+        # The end-to-end parametrized test above runs it at 18 nodes — still
+        # through the sharded runner, because the shard count survives the
+        # num_nodes override.
+        small = build_scenario("metropolis", num_nodes=18)
+        assert small.shards == 4

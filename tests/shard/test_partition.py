@@ -1,0 +1,74 @@
+"""Unit tests for the deterministic node → shard partitioner.
+
+Placement is part of the reproducibility contract: the lookup table is
+computed independently by every worker, the coordinator and the merge step,
+so its values are pinned here as literals — a partitioner change silently
+re-homing nodes would otherwise only surface as a cryptic merge failure.
+"""
+
+import pytest
+
+from repro.shard.partition import partition_nodes, shard_lookup, shard_of_node
+
+
+class TestShardOfNode:
+    def test_pinned_placements_two_way(self):
+        # sha256("shard:node-<id>")[:8] % 2 — frozen; changing the hash
+        # construction invalidates every cross-version sharded comparison.
+        assert [shard_of_node(i, 2) for i in range(12)] == [
+            0, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0,
+        ]
+
+    def test_pinned_placements_four_way(self):
+        assert [shard_of_node(i, 4) for i in range(12)] == [
+            0, 0, 3, 3, 2, 1, 2, 2, 1, 3, 3, 0,
+        ]
+
+    def test_single_shard_owns_everything(self):
+        assert all(shard_of_node(i, 1) == 0 for i in range(100))
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_of_node(0, 0)
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_of_node(0, -3)
+
+    def test_placement_is_stable_across_calls(self):
+        assert [shard_of_node(7, 4) for _ in range(5)] == [shard_of_node(7, 4)] * 5
+
+
+class TestLookupAndGroups:
+    def test_lookup_agrees_with_shard_of_node(self):
+        lookup = shard_lookup(50, 4)
+        assert len(lookup) == 50
+        assert lookup == [shard_of_node(i, 4) for i in range(50)]
+
+    def test_groups_partition_the_id_range(self):
+        groups = partition_nodes(40, 3)
+        assert len(groups) == 3
+        flat = [node_id for group in groups for node_id in group]
+        assert sorted(flat) == list(range(40))
+        for shard_id, group in enumerate(groups):
+            assert group == sorted(group)  # ascending within each shard
+            assert all(shard_of_node(node_id, 3) == shard_id for node_id in group)
+
+    def test_empty_shards_are_legal(self):
+        # A 2-node session split 4 ways: nodes 0 and 1 both hash to shard 0,
+        # so three shards own nothing — they still take part in the window
+        # protocol (replicated control plane), hence empty lists, not errors.
+        assert partition_nodes(2, 4) == [[0, 1], [], [], []]
+
+    def test_large_partition_is_roughly_balanced(self):
+        sizes = [len(group) for group in partition_nodes(1000, 4)]
+        assert sum(sizes) == 1000
+        assert all(200 <= size <= 300 for size in sizes)
+
+    def test_placement_uncorrelated_with_bandwidth_class(self):
+        # Bandwidth classes are assigned by node_id % 10 (scenarios.spec);
+        # a modulo partitioner would pile one class onto one shard.  The
+        # hash spreads every class across all four shards.
+        for klass in range(10):
+            shards_of_class = {
+                shard_of_node(node_id, 4) for node_id in range(klass, 1000, 10)
+            }
+            assert shards_of_class == {0, 1, 2, 3}

@@ -1,0 +1,264 @@
+"""Unit tests for the shard runner: router, coordinator, merge, entry point.
+
+The equivalence property suite (``tests/properties/test_shard_equivalence``)
+pins the end-to-end contract; these tests pin the individual moving parts
+and — above all — the error paths, which a passing parity run never
+exercises: protocol violations, diverged control planes, worker crashes.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.shard.runner as runner_module
+from repro.network.message import Message
+from repro.scenarios.builder import SessionBuilder
+from repro.scenarios.registry import build_scenario
+from repro.shard.partition import shard_lookup
+from repro.shard.runner import (
+    ShardProtocolError,
+    _Coordinator,
+    _run_threaded,
+    merge_shard_results,
+    run_sharded,
+)
+from repro.shard.session import (
+    ShardRouter,
+    WindowReport,
+    conservative_lookahead,
+    session_horizon,
+)
+
+
+def small_config(num_nodes=8, shards=2, seed=3):
+    spec = build_scenario("homogeneous", num_nodes=num_nodes, seed=seed, shards=shards)
+    return SessionBuilder.from_spec(spec).to_config()
+
+
+def message(sender, receiver):
+    return Message(sender=sender, receiver=receiver, kind="serve", size_bytes=100)
+
+
+class FakeNetwork:
+    def __init__(self):
+        self.delivered = []
+
+    def schedule_delivery(self, msg, deliver_time):
+        self.delivered.append((deliver_time, msg))
+
+
+class TestShardRouter:
+    # Pinned placement for 4 nodes, 2 shards: shard 0 owns {0, 1}, shard 1
+    # owns {2, 3} (see tests/shard/test_partition.py).
+    LOOKUP = [0, 0, 1, 1]
+
+    def test_local_datagrams_schedule_immediately(self):
+        network = FakeNetwork()
+        router = ShardRouter(network, shard_id=0, lookup=self.LOOKUP)
+        router.dispatch(message(0, 1), 1.5)
+        assert network.delivered == [(1.5, message(0, 1))]
+        assert router.flush() == []
+
+    def test_remote_datagrams_batch_with_monotone_seq(self):
+        network = FakeNetwork()
+        router = ShardRouter(network, shard_id=0, lookup=self.LOOKUP)
+        first, second = message(0, 2), message(1, 3)
+        router.dispatch(first, 2.0)
+        router.dispatch(second, 1.0)  # earlier time, later seq: order kept
+        assert network.delivered == []
+        batch = router.flush()
+        assert batch == [(2.0, 0, 1, first), (1.0, 1, 2, second)]
+
+    def test_flush_clears_but_seq_keeps_counting(self):
+        router = ShardRouter(FakeNetwork(), shard_id=0, lookup=self.LOOKUP)
+        router.dispatch(message(0, 2), 1.0)
+        assert [seq for _, _, seq, _ in router.flush()] == [1]
+        router.dispatch(message(0, 3), 2.0)
+        # Seq is a per-shard lifetime counter: uniqueness must span windows.
+        assert [seq for _, _, seq, _ in router.flush()] == [2]
+        assert router.flush() == []
+
+
+class TestCoordinator:
+    def coordinator(self, config=None):
+        config = config or small_config()
+        return _Coordinator(config, config.shards), config
+
+    def report(self, shard_id, bound, outbound=(), peek=None):
+        return WindowReport(
+            shard_id=shard_id, bound=bound, outbound=list(outbound), peek_time=peek
+        )
+
+    def test_wrong_report_count_rejected(self):
+        coordinator, _ = self.coordinator()
+        with pytest.raises(ShardProtocolError, match="expected 2 window reports"):
+            coordinator.replies([self.report(0, 1.0)])
+
+    def test_diverged_bounds_rejected(self):
+        coordinator, _ = self.coordinator()
+        with pytest.raises(ShardProtocolError, match="bounds diverged"):
+            coordinator.replies([self.report(0, 1.0), self.report(1, 1.5)])
+
+    def test_bound_jumps_to_global_minimum_plus_lookahead(self):
+        coordinator, config = self.coordinator()
+        lookahead = conservative_lookahead(config)
+        replies = coordinator.replies(
+            [self.report(0, 1.0, peek=7.0), self.report(1, 1.0, peek=5.0)]
+        )
+        assert all(reply.next_bound == 5.0 + lookahead for reply in replies)
+        assert not any(reply.done for reply in replies)
+
+    def test_in_flight_datagram_caps_the_bound(self):
+        coordinator, config = self.coordinator()
+        lookahead = conservative_lookahead(config)
+        datagram = (2.0, 0, 1, message(0, 2))
+        replies = coordinator.replies(
+            [self.report(0, 1.0, outbound=[datagram], peek=9.0), self.report(1, 1.0)]
+        )
+        assert all(reply.next_bound == 2.0 + lookahead for reply in replies)
+
+    def test_datagrams_route_to_receiver_shard(self):
+        coordinator, config = self.coordinator()
+        lookup = shard_lookup(config.num_nodes, config.shards)
+        to_one = (2.0, 0, 1, message(0, 2))
+        assert lookup[2] == 1
+        replies = coordinator.replies(
+            [self.report(0, 1.0, outbound=[to_one]), self.report(1, 1.0)]
+        )
+        assert replies[0].inbound == []
+        assert replies[1].inbound == [to_one]
+
+    def test_empty_system_jumps_straight_to_horizon(self):
+        coordinator, config = self.coordinator()
+        replies = coordinator.replies([self.report(0, 1.0), self.report(1, 1.0)])
+        assert all(reply.next_bound == session_horizon(config) for reply in replies)
+        assert not any(reply.done for reply in replies)
+
+    def test_drain_finishes_only_when_idle(self):
+        coordinator, config = self.coordinator()
+        until = session_horizon(config)
+        # Still moving a datagram at the horizon: not done.
+        moving = coordinator.replies(
+            [
+                self.report(0, until, outbound=[(until, 0, 1, message(0, 2))]),
+                self.report(1, until),
+            ]
+        )
+        assert not any(reply.done for reply in moving)
+        # An event past the horizon does not hold the run open.
+        idle = coordinator.replies(
+            [self.report(0, until, peek=until + 1.0), self.report(1, until)]
+        )
+        assert all(reply.done for reply in idle)
+        # An event at or below the horizon does.
+        pending = coordinator.replies(
+            [self.report(0, until, peek=until), self.report(1, until)]
+        )
+        assert not any(reply.done for reply in pending)
+
+
+class TestMergeShardResults:
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = small_config()
+        return config, _run_threaded(config, config.shards)
+
+    def test_fragments_merge_cleanly(self, run):
+        config, fragments = run
+        merged = merge_shard_results(config, fragments)
+        assert merged.deliveries.total_deliveries > 0
+        assert merged.events_processed > 0
+
+    def test_empty_fragment_list_rejected(self, run):
+        config, _ = run
+        with pytest.raises(ValueError, match="empty"):
+            merge_shard_results(config, [])
+
+    def test_incomplete_fragment_set_rejected(self, run):
+        config, fragments = run
+        with pytest.raises(ShardProtocolError, match="incomplete shard results"):
+            merge_shard_results(config, fragments[:1])
+        with pytest.raises(ShardProtocolError, match="incomplete shard results"):
+            merge_shard_results(config, [fragments[0], fragments[0]])
+
+    def test_ownership_violation_rejected(self, run):
+        config, fragments = run
+        intruder = fragments[1].owned[0]
+        tampered = dataclasses.replace(
+            fragments[0],
+            deliveries=_copy_deliveries(config, fragments[0], extra=(intruder, 0, 1.0)),
+        )
+        with pytest.raises(ShardProtocolError, match="owned by shard"):
+            merge_shard_results(config, [tampered, fragments[1]])
+
+    def test_diverged_control_plane_rejected(self, run):
+        config, fragments = run
+        for field_name, value, match in (
+            ("failed_nodes", [99], "failure history"),
+            ("late_joiners", [99], "late-joiner set"),
+            ("control_events", fragments[1].control_events + 1, "control-event count"),
+            ("end_time", fragments[1].end_time + 1.0, "session end time"),
+        ):
+            tampered = dataclasses.replace(fragments[1], **{field_name: value})
+            with pytest.raises(ShardProtocolError, match=match):
+                merge_shard_results(config, [fragments[0], tampered])
+
+    def test_merge_accepts_fragments_in_any_order(self, run):
+        config, fragments = run
+        forward = merge_shard_results(config, list(fragments))
+        reverse = merge_shard_results(config, list(reversed(fragments)))
+        assert forward.events_processed == reverse.events_processed
+        assert forward.deliveries.total_deliveries == reverse.deliveries.total_deliveries
+
+
+def _copy_deliveries(config, fragment, extra):
+    """A fresh DeliveryLog replaying a fragment's records plus one intruder."""
+    from repro.metrics.delivery import DeliveryLog
+    from repro.streaming.schedule import StreamSchedule
+
+    log = DeliveryLog(StreamSchedule(config.stream))
+    for node_id, node_log in fragment.deliveries.raw().items():
+        for packet_id, delivered_at in node_log.items():
+            log.record(node_id, packet_id, delivered_at)
+    node_id, packet_id, delivered_at = extra
+    log.record(node_id, packet_id, delivered_at)
+    return log
+
+
+class TestRunShardedValidation:
+    def test_needs_a_shard_count_somewhere(self):
+        config = small_config()
+        config = dataclasses.replace(config, shards=None)
+        with pytest.raises(ValueError, match="shard count"):
+            run_sharded(config)
+
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            run_sharded(small_config(), shards=0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown sharded runner mode"):
+            run_sharded(small_config(), mode="fiber")
+
+    def test_argument_overrides_config_shard_count(self):
+        result = run_sharded(small_config(shards=2), shards=1)
+        assert result.config.shards == 1
+
+    def test_unshardable_latency_model_fails_fast(self):
+        config = small_config()
+        network = dataclasses.replace(
+            config.network, latency_model="constant", base_latency=0.0
+        )
+        config = dataclasses.replace(config, network=network)
+        with pytest.raises(ValueError, match="min_latency"):
+            conservative_lookahead(config)
+
+
+class TestWorkerFailure:
+    def test_thread_worker_crash_surfaces_as_protocol_error(self, monkeypatch):
+        def explode(config, shard_id, num_shards, channel):
+            raise RuntimeError(f"shard {shard_id} corrupted")
+
+        monkeypatch.setattr(runner_module, "run_shard_worker", explode)
+        with pytest.raises(ShardProtocolError, match="worker failed"):
+            run_sharded(small_config(), mode="thread")

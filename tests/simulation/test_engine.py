@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulation.engine import Simulator, call_every
+from repro.simulation.engine import Simulator
 from repro.simulation.errors import SimulationStateError, SimulationTimeError
 from repro.simulation.timers import PeriodicTimer
 
@@ -102,25 +102,42 @@ class TestRun:
         assert simulator.step() is False
 
 
-class TestCallEvery:
-    def test_returns_started_periodic_timer_and_warns(self, simulator):
+class TestPeriodicCallbacks:
+    """The PeriodicTimer idiom that replaced the old call_every() shim."""
+
+    def test_periodic_timer_fires_on_schedule(self, simulator):
         ticks = []
-        with pytest.deprecated_call():
-            timer = call_every(simulator, 0.5, lambda: ticks.append(simulator.now))
-        assert isinstance(timer, PeriodicTimer)
+        timer = PeriodicTimer(
+            simulator, 0.5, lambda: ticks.append(simulator.now), start_delay=0.0
+        )
+        timer.start()
         assert timer.running
         simulator.run(until=2.0)
         # start_delay=0 fires immediately, then every 0.5s: t = 0, .5, 1, 1.5, 2
         assert timer.fire_count == len(ticks) == 5
 
-    def test_returned_timer_is_stoppable(self, simulator):
+    def test_periodic_timer_is_stoppable(self, simulator):
         ticks = []
-        with pytest.deprecated_call():
-            timer = call_every(simulator, 0.5, lambda: ticks.append(simulator.now))
+        timer = PeriodicTimer(
+            simulator, 0.5, lambda: ticks.append(simulator.now), start_delay=0.0
+        )
+        timer.start()
         simulator.run(until=1.0)
         timer.stop()
         simulator.run(until=5.0)
         assert len(ticks) == 3
+
+    def test_fire_and_forget_at_schedules_at_absolute_time(self, simulator):
+        times = []
+        simulator.schedule_fire_and_forget_at(2.5, lambda: times.append(simulator.now))
+        simulator.run_until_idle()
+        assert times == [pytest.approx(2.5)]
+
+    def test_fire_and_forget_at_past_raises(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        simulator.run_until_idle()
+        with pytest.raises(SimulationTimeError):
+            simulator.schedule_fire_and_forget_at(0.5, lambda: None)
 
 
 class TestDeterminism:
