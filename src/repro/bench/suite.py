@@ -1,7 +1,7 @@
 """The registered benchmark suite — every ``benchmarks/bench_*.py`` as a spec.
 
 Importing this module populates :func:`repro.bench.spec.default_registry`
-with the fourteen benchmarks the repo tracks:
+with the fifteen benchmarks the repo tracks:
 
 * ``engine-throughput`` — simulated events per wall-clock second;
 * ``observer-overhead`` — the validation hook layer's price in its three
@@ -16,6 +16,9 @@ with the fourteen benchmarks the repo tracks:
 * ``sharded-session`` — the conservative time-window runner vs the scalar
   oracle: identity-gated event counts and delivery checksums, wall-clock
   reported as trend info;
+* ``wire`` — the compact cross-shard wire format vs pickled batches on
+  captured real traffic: bytes per datagram (gated, must stay >= 2x
+  smaller) and encode/decode time;
 * ``sweep-parallel`` — serial vs multiprocess sweep identity and speedup.
 
 Gating policy (see :mod:`repro.bench.spec`): deterministic counters (events
@@ -526,6 +529,7 @@ def run_sharded_session(ctx: BenchContext) -> dict:
     from repro.scenarios import build_scenario
     from repro.scenarios.builder import SessionBuilder
     from repro.shard import run_sharded
+    from repro.shard.wire import WIRE_STATS
 
     default_nodes, default_windows = SHARDED_SESSION_SIZES.get(
         ctx.scale_name, SHARDED_SESSION_SIZES["reduced"]
@@ -534,6 +538,7 @@ def run_sharded_session(ctx: BenchContext) -> dict:
     num_windows = ctx.option_int("windows", default_windows)
     shards = ctx.option_int("shards", 2)
     mode = ctx.options.get("mode", "thread")
+    wire = ctx.options.get("wire", "compact")
 
     overrides = {"shards": shards}
     if num_nodes is not None:
@@ -542,14 +547,25 @@ def run_sharded_session(ctx: BenchContext) -> dict:
         overrides["stream"] = StreamConfig.paper_defaults(num_windows=num_windows)
     spec = build_scenario("metropolis", **overrides)
     config = SessionBuilder.from_spec(spec).to_config()
-    ctx.log(f"    session: {spec.describe()} ({shards} shards, {mode} mode)")
+    ctx.log(f"    session: {spec.describe()} ({shards} shards, {mode} mode, {wire} wire)")
 
+    WIRE_STATS.reset()
     started = time.perf_counter()
-    sharded = run_sharded(config, mode=mode)
+    sharded = run_sharded(config, mode=mode, wire=wire)
     sharded_seconds = time.perf_counter() - started
+    # Thread-mode routers all report into this process's accumulator;
+    # process-mode workers accumulate in their own processes, so the parent
+    # legitimately reads zeros there (and the metrics are info-kind).
+    wire_stats = WIRE_STATS.snapshot()
     ctx.log(
         f"    sharded: {sharded.events_processed:,} events in {sharded_seconds:.2f}s"
     )
+    if wire_stats["windows"]:
+        ctx.log(
+            f"    wire   : {wire_stats['wire_bytes']:,}B across "
+            f"{wire_stats['windows']} window flushes "
+            f"({wire_stats['datagrams']:,} cross-shard datagrams)"
+        )
 
     # The scalar oracle doubles the benchmark's cost, so the full-size
     # metropolis leg skips it by default (``--option oracle=1`` forces it).
@@ -563,6 +579,14 @@ def run_sharded_session(ctx: BenchContext) -> dict:
         "oracle_checked": 1.0 if run_oracle else 0.0,
         "scalar_wall_seconds": 0.0,
         "sharded_speedup": 0.0,
+        "wire_windows": float(wire_stats["windows"]),
+        "wire_datagrams": float(wire_stats["datagrams"]),
+        "wire_bytes": float(wire_stats["wire_bytes"]),
+        "wire_bytes_per_window": (
+            wire_stats["wire_bytes"] / wire_stats["windows"]
+            if wire_stats["windows"]
+            else 0.0
+        ),
     }
     if run_oracle:
         started = time.perf_counter()
@@ -584,6 +608,136 @@ def run_sharded_session(ctx: BenchContext) -> dict:
         metrics["scalar_wall_seconds"] = oracle_seconds
         metrics["sharded_speedup"] = speedup
     return metrics
+
+
+# ----------------------------------------------------------------------
+# wire
+# ----------------------------------------------------------------------
+#: (num_nodes, num_windows) per scale for the traffic-capture session.
+WIRE_SIZES = {
+    "smoke": (30, 4),
+    "reduced": (60, 6),
+}
+
+
+def run_wire(ctx: BenchContext) -> dict:
+    """Compact wire format vs pickled batches, on real cross-shard traffic.
+
+    A scalar session runs with a *tap* router that schedules every delivery
+    unchanged but records each datagram whose sender and receiver fall on
+    different sides of a 2-shard partition, grouped into lookahead-sized
+    windows per source shard — the batches a real shard run would flush.
+    The capture is then encoded and decoded in-process: serialized bytes
+    per datagram against pickling the legacy tuple batches (the acceptance
+    bar is at least 2x fewer), plus encode/decode time per datagram.  All
+    byte counts are deterministic; only the timings are wall-clock.
+    """
+    import pickle
+    from collections import defaultdict
+
+    from repro.network.transport import DatagramRouter
+    from repro.scenarios import build_scenario
+    from repro.scenarios.builder import SessionBuilder
+    from repro.shard.partition import shard_lookup
+    from repro.shard.session import conservative_lookahead
+    from repro.shard.wire import decode_batch, encode_batch
+
+    default_nodes, default_windows = WIRE_SIZES.get(ctx.scale_name, WIRE_SIZES["reduced"])
+    num_nodes = ctx.option_int("nodes", default_nodes)
+    num_windows = ctx.option_int("windows", default_windows)
+    shards = ctx.option_int("shards", 2)
+    repeats = ctx.option_int("repeats", 5)
+
+    spec = build_scenario(
+        "metropolis",
+        num_nodes=num_nodes,
+        shards=shards,
+        stream=StreamConfig.paper_defaults(num_windows=num_windows),
+    )
+    config = SessionBuilder.from_spec(spec).to_config()
+    lookup = shard_lookup(config.num_nodes, shards)
+    lookahead = conservative_lookahead(config)
+
+    class _TapRouter(DatagramRouter):
+        """Schedules locally like no router at all; records cross-shard traffic."""
+
+        def __init__(self, network) -> None:
+            self._network = network
+            self._seq = 0
+            self.captured = []
+
+        def dispatch(self, message, deliver_time) -> None:
+            self._network.schedule_delivery(message, deliver_time)
+            if lookup[message.sender] != lookup[message.receiver]:
+                self._seq += 1
+                self.captured.append((deliver_time, message.sender, self._seq, message))
+
+    class _TapSession(StreamingSession):
+        def _build_network(self) -> None:
+            super()._build_network()
+            self.tap = _TapRouter(self.network)
+            self.network.set_router(self.tap)
+
+    session = _TapSession(config)
+    session.run()
+    captured = session.tap.captured
+    if not captured:
+        raise AssertionError("tap session produced no cross-shard traffic")
+
+    windows = defaultdict(list)
+    for routed in captured:
+        windows[(int(routed[0] // lookahead), lookup[routed[1]])].append(routed)
+    batches = [windows[key] for key in sorted(windows)]
+    ctx.log(
+        f"    capture: {len(captured):,} cross-shard datagrams in "
+        f"{len(batches)} window batches ({spec.describe()})"
+    )
+
+    encoded = [encode_batch(batch) for batch in batches]
+    for batch, packed in zip(batches, encoded):
+        if decode_batch(packed) != batch:
+            raise AssertionError("wire round-trip diverged from the captured batch")
+    compact_bytes = sum(packed.nbytes for packed in encoded)
+    pickle_bytes = sum(
+        len(pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)) for batch in batches
+    )
+    ratio = pickle_bytes / compact_bytes
+    if ratio < 2.0:
+        raise AssertionError(
+            f"compact wire format too fat: {compact_bytes}B vs {pickle_bytes}B "
+            f"pickled ({ratio:.2f}x, need >= 2x)"
+        )
+
+    encode_best = decode_best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for batch in batches:
+            encode_batch(batch)
+        encode_best = min(encode_best, time.perf_counter() - started)
+        started = time.perf_counter()
+        for packed in encoded:
+            decode_batch(packed)
+        decode_best = min(decode_best, time.perf_counter() - started)
+    per_datagram = 1e9 / len(captured)
+    ctx.log(
+        f"    bytes  : compact {compact_bytes / len(captured):.1f}B/datagram vs "
+        f"pickle {pickle_bytes / len(captured):.1f}B -> {ratio:.2f}x smaller"
+    )
+    ctx.log(
+        f"    time   : encode {encode_best * per_datagram:.0f}ns/datagram, "
+        f"decode {decode_best * per_datagram:.0f}ns/datagram"
+    )
+    return {
+        "datagrams": float(len(captured)),
+        "windows": float(len(batches)),
+        "roundtrip_exact": 1.0,
+        "compact_bytes": float(compact_bytes),
+        "pickle_bytes": float(pickle_bytes),
+        "compact_bytes_per_datagram": compact_bytes / len(captured),
+        "bytes_ratio": ratio,
+        "encode_ns_per_datagram": encode_best * per_datagram,
+        "decode_ns_per_datagram": decode_best * per_datagram,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -762,6 +916,42 @@ def register_all(registry=None) -> None:
                 Metric("sharded_wall_seconds", kind="rate", higher_is_better=False, unit="s"),
                 Metric("scalar_wall_seconds", kind="rate", higher_is_better=False, unit="s"),
                 Metric("sharded_speedup", kind="rate", unit="x"),
+                # Wire traffic is info-kind: thread-mode routers report into
+                # this process, process-mode workers keep their own counters
+                # (the parent legitimately reads zeros there).
+                Metric("wire_windows", kind="info", unit="windows"),
+                Metric("wire_datagrams", kind="info", unit="datagrams"),
+                Metric("wire_bytes", kind="info", higher_is_better=False, unit="B"),
+                Metric("wire_bytes_per_window", kind="info", higher_is_better=False, unit="B"),
+            ),
+        )
+    )
+    registry.register(
+        Benchmark(
+            name="wire",
+            description="compact cross-shard wire format vs pickled batches",
+            run=run_wire,
+            tags=("shard", "wire", "serialization"),
+            smoke_repeats=2,
+            metrics=(
+                Metric("datagrams", kind="identity", unit="datagrams"),
+                Metric("windows", kind="identity", unit="windows"),
+                Metric("roundtrip_exact", kind="identity"),
+                Metric("compact_bytes", kind="counter", higher_is_better=False, unit="B"),
+                Metric("pickle_bytes", kind="info", unit="B"),
+                Metric(
+                    "compact_bytes_per_datagram",
+                    kind="counter",
+                    higher_is_better=False,
+                    unit="B",
+                ),
+                Metric("bytes_ratio", kind="ratio", tolerance=0.4, unit="x"),
+                Metric(
+                    "encode_ns_per_datagram", kind="rate", higher_is_better=False, unit="ns"
+                ),
+                Metric(
+                    "decode_ns_per_datagram", kind="rate", higher_is_better=False, unit="ns"
+                ),
             ),
         )
     )

@@ -137,9 +137,10 @@ class DatagramRouter(ABC):
     delivery on its own simulator.  With a router installed
     (:meth:`Network.set_router`) that decision is delegated: the sharded
     runner's router schedules locally owned receivers via
-    :meth:`Network.schedule_delivery` and serializes everything else into
-    the current time window's outbound batch, to be re-scheduled verbatim on
-    the receiver's shard at the next window barrier.
+    :meth:`Network.schedule_delivery` and diverts everything else into the
+    current time window's per-destination outbound batches — packed into the
+    columnar wire format (:mod:`repro.shard.wire`) at the window flush — to
+    be re-scheduled verbatim on the receiver's shard at the next barrier.
 
     Routers sit *after* the limiter and loss stages on purpose: congestion
     and in-flight loss are sender-side physics and stay on the sender's

@@ -24,13 +24,25 @@ from repro.shard.session import (
     conservative_lookahead,
     session_horizon,
 )
+from repro.shard.wire import (
+    WIRE_FORMATS,
+    WireBatch,
+    WireFormatError,
+    decode_batch,
+    encode_batch,
+)
 
 __all__ = [
     "ShardProtocolError",
     "ShardResult",
     "ShardRouter",
     "ShardSession",
+    "WIRE_FORMATS",
+    "WireBatch",
+    "WireFormatError",
     "conservative_lookahead",
+    "decode_batch",
+    "encode_batch",
     "merge_shard_results",
     "partition_nodes",
     "run_sharded",

@@ -26,6 +26,18 @@ from repro.sweep.summary import MetricsRequest, PointSummary, summarize
 from repro.shard.partition import partition_nodes
 from repro.shard.runner import run_sharded
 from repro.shard.session import conservative_lookahead
+from repro.shard.wire import WIRE_FORMATS
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type for counts that must be >= 1 (clear message, no traceback)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {parsed}")
+    return parsed
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,8 +52,15 @@ def _build_parser() -> argparse.ArgumentParser:
         required=True,
         help=f"registered scenario name (one of: {', '.join(available_scenarios())})",
     )
-    run.add_argument("--shards", type=int, required=True, help="number of shard workers")
-    run.add_argument("--nodes", type=int, default=None, help="override the node count")
+    run.add_argument(
+        "--shards",
+        type=_positive_int,
+        required=True,
+        help="number of shard workers (>= 1, at most the node count)",
+    )
+    run.add_argument(
+        "--nodes", type=_positive_int, default=None, help="override the node count"
+    )
     run.add_argument("--seed", type=int, default=None, help="override the root seed")
     run.add_argument(
         "--mode",
@@ -50,9 +69,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker mode (default: thread)",
     )
     run.add_argument(
+        "--wire",
+        choices=WIRE_FORMATS,
+        default="compact",
+        help="cross-shard batch encoding (default: compact)",
+    )
+    run.add_argument(
         "--parity",
         action="store_true",
-        help="also run the scalar oracle and fail on any summary mismatch",
+        help="also run the scalar oracle, fail on any summary mismatch, "
+        "and print the sharded/scalar wall-clock ratio",
     )
     return parser
 
@@ -61,7 +87,7 @@ def _summary_fields(summary: PointSummary) -> List[str]:
     return [f.name for f in fields(summary) if f.compare]
 
 
-def _run(args: argparse.Namespace) -> int:
+def _run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     overrides = {}
     if args.nodes is not None:
         overrides["num_nodes"] = args.nodes
@@ -69,16 +95,22 @@ def _run(args: argparse.Namespace) -> int:
         overrides["seed"] = args.seed
     spec = build_scenario(args.scenario, shards=args.shards, **overrides)
     config = SessionBuilder.from_spec(spec).to_config()
+    if args.shards > config.num_nodes:
+        parser.error(
+            f"--shards {args.shards} exceeds the node count "
+            f"({config.num_nodes} for scenario {spec.name!r}); every shard "
+            f"needs at least one node to own"
+        )
 
     sizes = [len(group) for group in partition_nodes(config.num_nodes, args.shards)]
     print(
         f"scenario={spec.name} nodes={config.num_nodes} shards={args.shards} "
-        f"mode={args.mode} lookahead={conservative_lookahead(config):.4f}s "
-        f"partition={sizes}"
+        f"mode={args.mode} wire={args.wire} "
+        f"lookahead={conservative_lookahead(config):.4f}s partition={sizes}"
     )
 
     started = time.perf_counter()
-    result = run_sharded(config, mode=args.mode)
+    result = run_sharded(config, mode=args.mode, wire=args.wire)
     sharded_wall = time.perf_counter() - started
     request = MetricsRequest()
     sharded = summarize(result, request, cell_id=spec.name, seed=config.seed)
@@ -115,14 +147,20 @@ def _run(args: argparse.Namespace) -> int:
             print(f"    sharded: {getattr(sharded, name)!r}", file=sys.stderr)
             print(f"    scalar : {getattr(oracle, name)!r}", file=sys.stderr)
         return 1
+    # The speedup trend in CI logs: >1.0 means sharding beat the scalar run.
+    print(
+        f"parity  : wall ratio sharded/scalar={sharded_wall / oracle_wall:.2f} "
+        f"(speedup {oracle_wall / sharded_wall:.2f}x)"
+    )
     print(f"PARITY OK: {args.shards}-shard run is identical to the scalar oracle")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     if args.command == "run":
-        return _run(args)
+        return _run(args, parser)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,20 +1,41 @@
-"""Drive K shard workers through lockstep time windows and merge the results.
+"""Drive K shard workers through lockstep window rounds and merge the results.
 
 The coordinator is deliberately thin: it never inspects simulation state,
 only window bookkeeping.  Each round it gathers one :class:`WindowReport`
-per shard, routes the outbound datagrams to their receivers' shards, and
-computes the next window bound from the global minimum pending-event time::
+per shard, forwards the pre-split outbound batches to their destination
+shards (validating every datagram's routing on the way), and computes each
+shard's next window bound from the reported peek times.
 
-    t_min      = min(all shard peeks, all in-flight delivery times)
-    next_bound = min(until, t_min + lookahead)        # while bound < until
+**Adaptive window widening.**  The original runner advanced every shard to
+the same bound ``min(until, t_min + lookahead)`` where ``t_min`` is the
+global earliest pending-event time.  That is correct but pessimistic: shard
+``k`` cannot be influenced before
 
-Every quantity in that formula is derived from the config (lookahead,
-horizon) or reported by the workers (peeks, delivery times), so workers in
-other processes reach bit-identical window sequences with no shared memory.
+* ``min_{j != k} p_j + lookahead`` — another shard's earliest pending event
+  sends a datagram that needs at least one transport hop, or
+* ``p_k + 2 * lookahead`` — shard ``k``'s *own* earliest event is reflected
+  back through some other shard (one hop out, one hop back; longer chains
+  arrive later and are dominated by these two terms),
 
-Once the bound reaches the horizon the run enters the *drain loop*: workers
-execute inclusively up to ``until`` and keep exchanging until a round moves
-no datagrams and no shard holds an event at or below the horizon.
+where ``p_j`` is shard ``j``'s earliest pending time *including* the
+datagrams routed to it this round.  Each shard therefore gets its own bound
+``min(until, min_{j != k} p_j + L, p_k + 2L)`` — never smaller than the old
+common bound (both terms are ``>= t_min + L``), and strictly wider for the
+shard that holds the globally earliest work whenever the other shards are
+quiet.  When cross-shard traffic is sparse this cuts the number of barrier
+rounds; a single-shard run needs no barriers at all and jumps straight to
+the horizon.  The coordinator records the bound it issues to each shard and
+verifies the next round's reports against them.
+
+Every quantity in the formula is derived from the config (lookahead,
+horizon) or reported by the workers (peeks, batch delivery times), so
+workers in other processes reach bit-identical window sequences with no
+shared memory.
+
+Once a shard's bound reaches the horizon it enters the *drain loop*: it
+executes inclusively up to ``until`` and keeps exchanging until a round
+moves no datagrams, every shard is at the horizon, and no shard holds an
+event at or below it.
 
 Two runner modes share all of this logic through a channel object with one
 method (``exchange(report) -> reply``):
@@ -23,17 +44,19 @@ method (``exchange(report) -> reply``):
   default: Python threads interleave rather than parallelize, but they add
   no pickling or process-spawn cost, which keeps the equivalence suite and
   small sessions fast.
-* ``process`` — workers are OS processes, channels are pipes.  Real
-  parallelism for sessions big enough to amortize the per-window pickle of
-  the cross-shard batches (see the README's honest measurement notes).
+* ``process`` — workers are OS processes, channels are pipes carrying
+  pickle-protocol-5 frames.  Real parallelism; the per-window serialization
+  cost is the compact wire format's to keep down (:mod:`repro.shard.wire`).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import queue
 import threading
 import traceback
+from multiprocessing import connection as mp_connection
 from dataclasses import replace
 from typing import Dict, List, Optional
 
@@ -51,6 +74,7 @@ from repro.shard.session import (
     run_shard_worker,
     session_horizon,
 )
+from repro.shard.wire import batch_length, check_wire_format, iter_headers
 
 
 class ShardProtocolError(RuntimeError):
@@ -65,49 +89,159 @@ class _Coordinator:
         self._lookup = shard_lookup(config.num_nodes, num_shards)
         self._until = session_horizon(config)
         self._lookahead = conservative_lookahead(config)
+        #: Bounds issued last round, by shard id (``None`` until round one —
+        #: the first bound is computed identically by every shard backend).
+        self._issued: Optional[List[float]] = None
+        self.rounds = 0
 
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _check_bounds(self, reports: List[WindowReport]) -> None:
+        if self._issued is None:
+            bound = reports[0].bound
+            for report in reports:
+                if report.bound != bound:
+                    raise ShardProtocolError(
+                        f"window bounds diverged: shard {report.shard_id} is at "
+                        f"{report.bound!r}, shard {reports[0].shard_id} at {bound!r}"
+                    )
+            return
+        for report in reports:
+            issued = self._issued[report.shard_id]
+            if report.bound != issued:
+                raise ShardProtocolError(
+                    f"window bounds diverged: shard {report.shard_id} reported "
+                    f"bound {report.bound!r}, coordinator issued {issued!r}"
+                )
+
+    def _validate_batch(self, report: WindowReport, dest: int, batch) -> Optional[float]:
+        """Routing-check one outbound batch; return its earliest delivery time.
+
+        A corrupted or misrouted batch must surface as a diagnosable
+        :class:`ShardProtocolError` naming the shard and datagram, never as
+        a bare ``IndexError``/``KeyError`` from the lookup table.
+        """
+        num_nodes = len(self._lookup)
+        if not isinstance(dest, int) or not 0 <= dest < self._num_shards:
+            raise ShardProtocolError(
+                f"shard {report.shard_id} addressed a batch to invalid shard "
+                f"{dest!r} ({self._num_shards} shards exist)"
+            )
+        if dest == report.shard_id:
+            raise ShardProtocolError(
+                f"shard {report.shard_id} routed a batch to itself; local "
+                f"datagrams must never reach the coordinator"
+            )
+        earliest: Optional[float] = None
+        for index, (deliver_time, sender, _seq, receiver) in enumerate(
+            iter_headers(batch)
+        ):
+            if not 0 <= receiver < num_nodes:
+                raise ShardProtocolError(
+                    f"shard {report.shard_id} sent datagram #{index} for "
+                    f"unknown receiver {receiver!r} ({num_nodes} nodes exist)"
+                )
+            if self._lookup[receiver] != dest:
+                raise ShardProtocolError(
+                    f"shard {report.shard_id} misrouted datagram #{index}: "
+                    f"receiver {receiver} is owned by shard "
+                    f"{self._lookup[receiver]}, batch was addressed to shard {dest}"
+                )
+            if not 0 <= sender < num_nodes or self._lookup[sender] != report.shard_id:
+                raise ShardProtocolError(
+                    f"shard {report.shard_id} sent datagram #{index} from "
+                    f"sender {sender!r}, which it does not own"
+                )
+            if earliest is None or deliver_time < earliest:
+                earliest = deliver_time
+        return earliest
+
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
     def replies(self, reports: List[WindowReport]) -> List[WindowReply]:
-        """One coordination round: route datagrams, pick the next bound."""
+        """One coordination round: route batches, pick per-shard next bounds."""
         if len(reports) != self._num_shards:
             raise ShardProtocolError(
                 f"expected {self._num_shards} window reports, got {len(reports)}"
             )
-        bound = reports[0].bound
-        for report in reports:
-            if report.bound != bound:
-                raise ShardProtocolError(
-                    f"window bounds diverged: shard {report.shard_id} is at "
-                    f"{report.bound!r}, shard {reports[0].shard_id} at {bound!r}"
-                )
-        inbound: List[List] = [[] for _ in range(self._num_shards)]
-        moved = False
-        t_min: Optional[float] = None
-        for report in reports:
-            if report.peek_time is not None:
-                if t_min is None or report.peek_time < t_min:
-                    t_min = report.peek_time
-            for datagram in report.outbound:
-                moved = True
-                deliver_time = datagram[0]
-                if t_min is None or deliver_time < t_min:
-                    t_min = deliver_time
-                inbound[self._lookup[datagram[3].receiver]].append(datagram)
-        if bound < self._until:
-            # Conservative-window invariant: t_min >= bound, so the next
-            # bound strictly advances (by at least the lookahead, capped at
-            # the horizon) and jumps over empty stretches in one round.
-            done = False
-            next_bound = (
-                self._until if t_min is None else min(self._until, t_min + self._lookahead)
+        if sorted(report.shard_id for report in reports) != list(range(self._num_shards)):
+            raise ShardProtocolError(
+                f"window reports carry invalid shard ids "
+                f"{[report.shard_id for report in reports]!r}"
             )
-        else:
-            # Drain loop at the horizon: done only when nothing moved and no
-            # shard still holds an event at or below ``until`` (events past
-            # the horizon stay pending, exactly as in a scalar run).
-            done = not moved and (t_min is None or t_min > self._until)
-            next_bound = self._until
+        self._check_bounds(reports)
+        self.rounds += 1
+
+        inbound: List[List[object]] = [[] for _ in range(self._num_shards)]
+        earliest_inbound: List[Optional[float]] = [None] * self._num_shards
+        moved = False
+        for report in reports:
+            for dest, batch in report.outbound.items():
+                if batch_length(batch) == 0:
+                    continue
+                earliest = self._validate_batch(report, dest, batch)
+                moved = True
+                inbound[dest].append(batch)
+                if earliest is not None and (
+                    earliest_inbound[dest] is None or earliest < earliest_inbound[dest]
+                ):
+                    earliest_inbound[dest] = earliest
+
+        # Effective earliest pending time per shard: its own queue peek plus
+        # anything just routed to it.  This is the quantity the widening
+        # proof (module docstring) is stated over.
+        pending: List[Optional[float]] = []
+        by_shard = sorted(reports, key=lambda report: report.shard_id)
+        for report in by_shard:
+            candidates = [
+                time
+                for time in (report.peek_time, earliest_inbound[report.shard_id])
+                if time is not None
+            ]
+            pending.append(min(candidates) if candidates else None)
+
+        until = self._until
+        t_min = min((time for time in pending if time is not None), default=None)
+        at_horizon = all(report.bound == until for report in reports)
+        if at_horizon and not moved and (t_min is None or t_min > until):
+            # Drain loop complete: nothing moved, every shard sits at the
+            # horizon, and all remaining events lie strictly past it (they
+            # stay pending, exactly as in a scalar run).
+            self._issued = [until] * self._num_shards
+            return [
+                WindowReply(next_bound=until, done=True, inbound=inbound[shard_id])
+                for shard_id in range(self._num_shards)
+            ]
+
+        lookahead = self._lookahead
+        next_bounds: List[float] = []
+        for shard_id in range(self._num_shards):
+            others = min(
+                (
+                    time
+                    for other, time in enumerate(pending)
+                    if other != shard_id and time is not None
+                ),
+                default=None,
+            )
+            own = pending[shard_id]
+            horizon_candidates: List[float] = []
+            if others is not None:
+                horizon_candidates.append(others + lookahead)
+            if own is not None and self._num_shards > 1:
+                horizon_candidates.append(own + 2.0 * lookahead)
+            bound = until if not horizon_candidates else min(until, min(horizon_candidates))
+            # The widening proof guarantees monotonicity; the max() keeps a
+            # shard that already ran its inclusive horizon stretch from ever
+            # being handed a smaller bound again.
+            next_bounds.append(max(bound, by_shard[shard_id].bound))
+        self._issued = next_bounds
         return [
-            WindowReply(next_bound=next_bound, done=done, inbound=inbound[shard_id])
+            WindowReply(
+                next_bound=next_bounds[shard_id], done=False, inbound=inbound[shard_id]
+            )
             for shard_id in range(self._num_shards)
         ]
 
@@ -115,30 +249,44 @@ class _Coordinator:
 # ----------------------------------------------------------------------
 # Thread mode
 # ----------------------------------------------------------------------
-class _ThreadChannel:
-    """Worker-side barrier endpoint backed by queue pairs."""
+#: Seconds to wait for worker threads/processes to wind down after an abort.
+_ABORT_JOIN_TIMEOUT = 5.0
 
-    def __init__(self, inbox: "queue.Queue", replies: "queue.Queue") -> None:
+
+class _ThreadChannel:
+    """Worker-side barrier endpoint backed by queue pairs.
+
+    Every message on the coordinator's inbox has the same shape —
+    ``(tag, shard_id, payload)`` — whether it is a window report, a
+    completion notice or a worker error.  (An earlier revision sent
+    2-tuples for reports and 3-tuples for everything else; the dual shape
+    hid a malformed-message class once and is gone for good.)
+    """
+
+    def __init__(self, shard_id: int, inbox: "queue.Queue", replies: "queue.Queue") -> None:
+        self._shard_id = shard_id
         self._inbox = inbox
         self._replies = replies
 
     def exchange(self, report: WindowReport) -> WindowReply:
-        self._inbox.put(("window", report))
+        self._inbox.put(("window", self._shard_id, report))
         reply = self._replies.get()
         if reply is None:  # poison pill: another shard failed
             raise ShardProtocolError("sharded run aborted")
         return reply
 
 
-def _run_threaded(config: SessionConfig, num_shards: int) -> List[ShardResult]:
+def _run_threaded(config: SessionConfig, num_shards: int, wire: str) -> List[ShardResult]:
     inbox: "queue.Queue" = queue.Queue()
     reply_queues: List["queue.Queue"] = [queue.Queue() for _ in range(num_shards)]
     results: List[Optional[ShardResult]] = [None] * num_shards
 
     def worker(shard_id: int) -> None:
-        channel = _ThreadChannel(inbox, reply_queues[shard_id])
+        channel = _ThreadChannel(shard_id, inbox, reply_queues[shard_id])
         try:
-            results[shard_id] = run_shard_worker(config, shard_id, num_shards, channel)
+            results[shard_id] = run_shard_worker(
+                config, shard_id, num_shards, channel, wire=wire
+            )
             inbox.put(("done", shard_id, None))
         except BaseException as exc:  # noqa: BLE001 — forwarded to the caller
             inbox.put(("error", shard_id, exc))
@@ -151,47 +299,51 @@ def _run_threaded(config: SessionConfig, num_shards: int) -> List[ShardResult]:
         thread.start()
 
     def abort(cause: BaseException) -> "NoReturn":  # noqa: F821 — doc only
+        # Poison-pill every reply queue so blocked workers wake and exit,
+        # then join them: a failed run must not leak daemon threads stuck in
+        # queue.get() for the life of a pytest or sweep process.  The
+        # original worker exception is re-raised, not wrapped — the caller
+        # debugs the actual failure, not a generic protocol error.
         for reply_queue in reply_queues:
             reply_queue.put(None)
-        raise ShardProtocolError("a shard worker failed; run aborted") from cause
+        for thread in threads:
+            thread.join(timeout=_ABORT_JOIN_TIMEOUT)
+        raise cause
 
     coordinator = _Coordinator(config, num_shards)
     done = False
     while not done:
         reports: Dict[int, WindowReport] = {}
         while len(reports) < num_shards:
-            tag, shard_id, payload = _tagged(inbox.get())
+            tag, shard_id, payload = inbox.get()
             if tag == "error":
                 abort(payload)
             if tag != "window":
-                raise ShardProtocolError(
-                    f"shard {shard_id} finished before the coordinator released it"
+                abort(
+                    ShardProtocolError(
+                        f"shard {shard_id} finished before the coordinator released it"
+                    )
                 )
             reports[payload.shard_id] = payload
-        round_replies = coordinator.replies([reports[i] for i in range(num_shards)])
+        try:
+            round_replies = coordinator.replies([reports[i] for i in range(num_shards)])
+        except ShardProtocolError as exc:
+            abort(exc)
         for shard_id, reply in enumerate(round_replies):
             reply_queues[shard_id].put(reply)
         done = round_replies[0].done
 
     finished = 0
     while finished < num_shards:
-        tag, shard_id, payload = _tagged(inbox.get())
+        tag, shard_id, payload = inbox.get()
         if tag == "error":
             abort(payload)
         if tag == "window":
-            raise ShardProtocolError(f"shard {shard_id} kept running after completion")
+            abort(ShardProtocolError(f"shard {shard_id} kept running after completion"))
         finished += 1
     for thread in threads:
         thread.join()
     return [result for result in results if result is not None]
-
-
-def _tagged(message):
-    if isinstance(message, tuple) and len(message) == 3:
-        return message
-    if isinstance(message, tuple) and len(message) == 2 and message[0] == "window":
-        return ("window", message[1].shard_id, message[1])
-    raise ShardProtocolError(f"malformed coordinator message: {message!r}")
 
 
 # ----------------------------------------------------------------------
@@ -201,6 +353,21 @@ class _ShardAborted(BaseException):
     """Internal: coordinator told this worker to stop (peer failure)."""
 
 
+def _send(connection, obj) -> None:
+    """Ship one protocol message as a pickle-protocol-5 frame.
+
+    ``Connection.send`` pickles at the interpreter's default protocol;
+    framing explicitly at protocol 5 keeps the compact wire batches' flat
+    buffers on the cheapest (out-of-band-capable) encoding on every
+    supported Python version.
+    """
+    connection.send_bytes(pickle.dumps(obj, protocol=5))
+
+
+def _recv(connection):
+    return pickle.loads(connection.recv_bytes())
+
+
 class _PipeChannel:
     """Worker-side barrier endpoint backed by one end of a pipe."""
 
@@ -208,8 +375,8 @@ class _PipeChannel:
         self._connection = connection
 
     def exchange(self, report: WindowReport) -> WindowReply:
-        self._connection.send(("window", report))
-        tag, payload = self._connection.recv()
+        _send(self._connection, ("window", report))
+        tag, payload = _recv(self._connection)
         if tag == "abort":
             raise _ShardAborted()
         if tag != "reply":
@@ -217,28 +384,30 @@ class _PipeChannel:
         return payload
 
 
-def _process_worker_main(config, shard_id, num_shards, connection) -> None:
+def _process_worker_main(config, shard_id, num_shards, connection, wire) -> None:
     try:
-        result = run_shard_worker(config, shard_id, num_shards, _PipeChannel(connection))
-        connection.send(("result", result))
+        result = run_shard_worker(
+            config, shard_id, num_shards, _PipeChannel(connection), wire=wire
+        )
+        _send(connection, ("result", result))
     except _ShardAborted:
         pass
     except BaseException:  # noqa: BLE001 — serialized back to the parent
         try:
-            connection.send(("error", traceback.format_exc()))
+            _send(connection, ("error", traceback.format_exc()))
         except Exception:  # pragma: no cover - pipe already gone
             pass
     finally:
         connection.close()
 
 
-def _run_processes(config: SessionConfig, num_shards: int) -> List[ShardResult]:
+def _run_processes(config: SessionConfig, num_shards: int, wire: str) -> List[ShardResult]:
     context = multiprocessing.get_context()
     pipes = [context.Pipe() for _ in range(num_shards)]
     workers = [
         context.Process(
             target=_process_worker_main,
-            args=(config, shard_id, num_shards, pipes[shard_id][1]),
+            args=(config, shard_id, num_shards, pipes[shard_id][1], wire),
             name=f"shard-{shard_id}",
         )
         for shard_id in range(num_shards)
@@ -251,20 +420,33 @@ def _run_processes(config: SessionConfig, num_shards: int) -> List[ShardResult]:
     def abort(detail: str) -> "NoReturn":  # noqa: F821 — doc only
         for connection in connections:
             try:
-                connection.send(("abort", None))
+                _send(connection, ("abort", None))
             except (BrokenPipeError, OSError):
                 pass
         for worker in workers:
-            worker.join(timeout=5.0)
+            worker.join(timeout=_ABORT_JOIN_TIMEOUT)
             if worker.is_alive():  # pragma: no cover - stuck worker
                 worker.terminate()
+                worker.join(timeout=_ABORT_JOIN_TIMEOUT)
         raise ShardProtocolError(f"sharded run failed: {detail}")
 
     def receive(shard_id: int):
-        try:
-            return connections[shard_id].recv()
-        except EOFError:
-            abort(f"shard {shard_id} died without reporting")
+        # Wait on the worker's exit sentinel alongside its pipe: EOF alone
+        # cannot be trusted to surface a dead worker, because with the fork
+        # start method sibling workers inherit (and keep open) this pipe's
+        # write end, so the parent's recv would block forever.
+        connection = connections[shard_id]
+        worker = workers[shard_id]
+        ready = mp_connection.wait([connection, worker.sentinel])
+        if connection in ready or connection.poll(0):
+            try:
+                return _recv(connection)
+            except EOFError:
+                abort(f"shard {shard_id} died without reporting")
+        # Sentinel only: the process exited without leaving a message.
+        abort(
+            f"shard {shard_id} died without reporting (exit code {worker.exitcode})"
+        )
 
     try:
         coordinator = _Coordinator(config, num_shards)
@@ -278,9 +460,12 @@ def _run_processes(config: SessionConfig, num_shards: int) -> List[ShardResult]:
                 if tag != "window":
                     abort(f"shard {shard_id} sent {tag!r} mid-run")
                 reports.append(payload)
-            round_replies = coordinator.replies(reports)
+            try:
+                round_replies = coordinator.replies(reports)
+            except ShardProtocolError as exc:
+                abort(str(exc))
             for shard_id, reply in enumerate(round_replies):
-                connections[shard_id].send(("reply", reply))
+                _send(connections[shard_id], ("reply", reply))
             done = round_replies[0].done
 
         results: List[ShardResult] = []
@@ -406,6 +591,7 @@ def run_sharded(
     config: SessionConfig,
     shards: Optional[int] = None,
     mode: str = "thread",
+    wire: str = "compact",
 ) -> SessionResult:
     """Run ``config`` partitioned across shard workers; merge the fragments.
 
@@ -419,23 +605,28 @@ def run_sharded(
         Optional shard-count override (must be ``>= 1``).
     mode:
         ``"thread"`` (default; no pickling, interleaved execution) or
-        ``"process"`` (true parallelism, per-window pickling).
+        ``"process"`` (true parallelism, per-window wire serialization).
+    wire:
+        Cross-shard batch encoding: ``"compact"`` (default; columnar
+        :mod:`repro.shard.wire` batches) or ``"legacy"`` (plain pickled
+        ``RoutedDatagram`` lists, kept as the cross-check oracle).
 
     Returns the same :class:`~repro.core.session.SessionResult` a scalar
     ``StreamingSession(config).run()`` of the identical config produces —
-    byte-identical for any shard count.
+    byte-identical for any shard count and either wire format.
     """
     num_shards = shards if shards is not None else config.shards
     if num_shards is None:
         raise ValueError("run_sharded needs a shard count (argument or config.shards)")
     if num_shards < 1:
         raise ValueError(f"shards must be >= 1, got {num_shards!r}")
+    check_wire_format(wire)
     if config.shards != num_shards:
         config = replace(config, shards=num_shards)
     if mode == "thread":
-        fragments = _run_threaded(config, num_shards)
+        fragments = _run_threaded(config, num_shards, wire)
     elif mode == "process":
-        fragments = _run_processes(config, num_shards)
+        fragments = _run_processes(config, num_shards, wire)
     else:
         raise ValueError(f"unknown sharded runner mode {mode!r} (thread/process)")
     return merge_shard_results(config, fragments)

@@ -38,6 +38,12 @@ from repro.simulation.engine import Simulator
 from repro.simulation.rng import RngRegistry
 
 from repro.shard.partition import shard_lookup
+from repro.shard.wire import (
+    WIRE_STATS,
+    check_wire_format,
+    encode_batch,
+    merge_inbound,
+)
 
 #: One cross-shard datagram: ``(deliver_time, sender, seq, message)``.
 #: ``seq`` is the origin shard's monotone dispatch counter; since a sender is
@@ -73,22 +79,34 @@ def session_horizon(config: SessionConfig) -> float:
 
 @dataclass
 class WindowReport:
-    """What one shard tells the coordinator at a window barrier."""
+    """What one shard tells the coordinator at a window barrier.
+
+    ``outbound`` maps destination shard id to that destination's batch — a
+    :class:`~repro.shard.wire.WireBatch` in compact mode, a plain
+    ``RoutedDatagram`` list in legacy mode.  Pre-splitting by destination in
+    the router (which owns the lookup table anyway) means the coordinator
+    only forwards batches; it never re-packs them.
+    """
 
     shard_id: int
     bound: float
-    outbound: List[RoutedDatagram]
+    outbound: Dict[int, object]
     #: Earliest pending local event after the window (``None``: empty queue).
     peek_time: Optional[float]
 
 
 @dataclass
 class WindowReply:
-    """The coordinator's answer: merged inbound traffic plus the next bound."""
+    """The coordinator's answer: merged inbound traffic plus the next bound.
+
+    ``inbound`` carries one batch per source shard that sent this shard
+    traffic, in either wire format; the receiving shard decodes and sorts
+    them (:func:`repro.shard.wire.merge_inbound`).
+    """
 
     next_bound: float
     done: bool
-    inbound: List[RoutedDatagram] = field(default_factory=list)
+    inbound: List[object] = field(default_factory=list)
 
 
 @dataclass
@@ -117,33 +135,59 @@ class ShardResult:
 class ShardRouter(DatagramRouter):
     """Routes accepted datagrams: owned receivers locally, the rest batched.
 
-    Remote datagrams carry their absolute delivery time plus a monotone
-    per-shard sequence number; the receiving shard sorts its inbound batch
-    by ``(deliver_time, sender, seq)`` before scheduling, making the merge
-    order independent of how the coordinator concatenated the batches.
+    Remote datagrams are appended to a per-destination-shard batch carrying
+    their absolute delivery time plus a monotone per-shard sequence number;
+    the receiving shard sorts its merged inbound by ``(deliver_time, sender,
+    seq)`` before scheduling, making delivery order independent of how the
+    coordinator concatenated the batches.
+
+    At every window flush the batches are packed into the selected wire
+    format: ``"compact"`` produces :class:`~repro.shard.wire.WireBatch`
+    columns (the cheap thing to push through a process pipe), ``"legacy"``
+    keeps the plain tuple lists as the cross-check oracle.
     """
 
-    __slots__ = ("_network", "_shard_id", "_lookup", "_outbound", "_seq")
+    __slots__ = ("_network", "_shard_id", "_lookup", "_outbound", "_seq", "_wire")
 
-    def __init__(self, network, shard_id: int, lookup: List[int]) -> None:
+    def __init__(
+        self, network, shard_id: int, lookup: List[int], wire: str = "compact"
+    ) -> None:
         self._network = network
         self._shard_id = shard_id
         self._lookup = lookup
-        self._outbound: List[RoutedDatagram] = []
+        self._outbound: Dict[int, List[RoutedDatagram]] = {}
         self._seq = 0
+        self._wire = check_wire_format(wire)
 
     def dispatch(self, message: Message, deliver_time: float) -> None:
-        if self._lookup[message.receiver] == self._shard_id:
+        dest = self._lookup[message.receiver]
+        if dest == self._shard_id:
             self._network.schedule_delivery(message, deliver_time)
             return
         self._seq += 1
-        self._outbound.append((deliver_time, message.sender, self._seq, message))
+        datagram = (deliver_time, message.sender, self._seq, message)
+        batch = self._outbound.get(dest)
+        if batch is None:
+            self._outbound[dest] = [datagram]
+        else:
+            batch.append(datagram)
 
-    def flush(self) -> List[RoutedDatagram]:
-        """Take (and clear) the current window's outbound batch."""
-        batch = self._outbound
-        self._outbound = []
-        return batch
+    def flush(self) -> Dict[int, object]:
+        """Take (and clear) the window's outbound batches, packed for the wire."""
+        raw = self._outbound
+        self._outbound = {}
+        if self._wire != "compact":
+            return raw
+        batches: Dict[int, object] = {}
+        datagrams = 0
+        wire_bytes = 0
+        for dest, batch in raw.items():
+            encoded = encode_batch(batch)
+            batches[dest] = encoded
+            datagrams += encoded.count
+            wire_bytes += encoded.nbytes
+        WIRE_STATS.record_window(len(batches), datagrams, wire_bytes)
+        return batches
 
 
 class ShardSession(StreamingSession):
@@ -159,10 +203,20 @@ class ShardSession(StreamingSession):
     channel:
         Barrier transport to the coordinator: an object with
         ``exchange(report: WindowReport) -> WindowReply`` that blocks until
-        every shard has reached the same window bound.
+        every shard has reached its coordinator-issued window bound.
+    wire:
+        Cross-shard batch encoding, ``"compact"`` (default) or ``"legacy"``
+        (see :mod:`repro.shard.wire`).
     """
 
-    def __init__(self, config: SessionConfig, shard_id: int, num_shards: int, channel) -> None:
+    def __init__(
+        self,
+        config: SessionConfig,
+        shard_id: int,
+        num_shards: int,
+        channel,
+        wire: str = "compact",
+    ) -> None:
         if config.shards is None:
             raise ValueError("ShardSession requires a config with shards set")
         if not 0 <= shard_id < num_shards:
@@ -171,6 +225,7 @@ class ShardSession(StreamingSession):
         self.shard_id = shard_id
         self.num_shards = num_shards
         self._channel = channel
+        self._wire = check_wire_format(wire)
         self._lookup = shard_lookup(config.num_nodes, num_shards)
         self._owned = tuple(
             node_id
@@ -197,7 +252,7 @@ class ShardSession(StreamingSession):
     def _build_network(self) -> None:
         super()._build_network()
         assert self.network is not None
-        self._router = ShardRouter(self.network, self.shard_id, self._lookup)
+        self._router = ShardRouter(self.network, self.shard_id, self._lookup, self._wire)
         self.network.set_router(self._router)
 
     def _nodes_to_build(self) -> List[NodeId]:
@@ -266,8 +321,7 @@ class ShardSession(StreamingSession):
             peek_time=self.simulator._queue.peek_time(),
         )
         reply = self._channel.exchange(report)
-        inbound = sorted(reply.inbound, key=lambda datagram: datagram[:3])
-        for deliver_time, _sender, _seq, message in inbound:
+        for deliver_time, _sender, _seq, message in merge_inbound(reply.inbound):
             self.network.schedule_delivery(message, deliver_time)
         return reply.next_bound, reply.done
 
@@ -310,7 +364,7 @@ class ShardSession(StreamingSession):
 
 
 def run_shard_worker(
-    config: SessionConfig, shard_id: int, num_shards: int, channel
+    config: SessionConfig, shard_id: int, num_shards: int, channel, wire: str = "compact"
 ) -> ShardResult:
     """Worker entry point shared by the thread and process runners."""
-    return ShardSession(config, shard_id, num_shards, channel).run_shard()
+    return ShardSession(config, shard_id, num_shards, channel, wire=wire).run_shard()

@@ -10,12 +10,15 @@ past its end, never inside it.
 
 :class:`ShardedBackend` drives a simulator through such half-open windows,
 invoking a *barrier* callback between them.  The barrier (installed by
-:mod:`repro.shard`) flushes the window's outbound datagram batch, blocks
-until every shard reaches the same point, inserts the inbound batch, and
-returns the coordinator's next window bound — which jumps over empty
-stretches (the coordinator knows every shard's next pending event, so it
-can place the next window just past the global minimum instead of crawling
-one lookahead at a time through the post-stream drain).
+:mod:`repro.shard`) flushes the window's outbound datagram batches, blocks
+until every shard reaches its coordinator-issued bound, inserts the inbound
+batches, and returns this shard's *next* bound.  Bounds are per shard and
+adaptively widened: the coordinator knows every shard's earliest pending
+event, so it jumps empty stretches and stretches a busy shard's window past
+quiet neighbours (one lookahead from the nearest foreign event, two from the
+shard's own — see the proof in :mod:`repro.shard.runner`).  A repeated bound
+is legal — the loop below executes zero events and barriers again while the
+other shards catch up.
 
 The final stretch is special: :meth:`Simulator.run`'s contract executes
 events *at* ``until`` inclusively, so once the bound reaches the horizon the
@@ -40,8 +43,8 @@ WindowBarrier = Callable[[float], Tuple[float, bool]]
 """``barrier(bound) -> (next_bound, done)``: synchronize after a window.
 
 ``bound`` is the window bound just executed; the return value is the next
-window bound (monotonically increasing, capped at the run's ``until``) and
-whether the run is complete.
+window bound (non-decreasing — a repeat parks this shard for a round —
+capped at the run's ``until``) and whether the run is complete.
 """
 
 

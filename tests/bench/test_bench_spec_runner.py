@@ -81,18 +81,23 @@ class TestRegistry:
         assert [b.name for b in registry.select(["tag:figure"])] == ["real"]
         assert [b.name for b in registry.select(["tag:figure,wide"])] == ["real", "wide"]
 
-    def test_default_suite_registers_all_fourteen(self):
+    def test_default_suite_registers_all_fifteen(self):
         from repro.bench import default_registry
 
         names = default_registry().names()
-        assert len(names) == 14
+        assert len(names) == 15
         assert names[:3] == [
             "engine-throughput",
             "observer-overhead",
             "telemetry-overhead",
         ]
         assert [f"figure{i}" for i in range(1, 9)] == names[3:11]
-        assert names[11:] == ["large-session", "sharded-session", "sweep-parallel"]
+        assert names[11:] == [
+            "large-session",
+            "sharded-session",
+            "wire",
+            "sweep-parallel",
+        ]
 
 
 class TestRepeatHarness:

@@ -57,26 +57,55 @@ class TestShardRouter:
         router = ShardRouter(network, shard_id=0, lookup=self.LOOKUP)
         router.dispatch(message(0, 1), 1.5)
         assert network.delivered == [(1.5, message(0, 1))]
-        assert router.flush() == []
+        assert router.flush() == {}
 
     def test_remote_datagrams_batch_with_monotone_seq(self):
         network = FakeNetwork()
-        router = ShardRouter(network, shard_id=0, lookup=self.LOOKUP)
+        router = ShardRouter(network, shard_id=0, lookup=self.LOOKUP, wire="legacy")
         first, second = message(0, 2), message(1, 3)
         router.dispatch(first, 2.0)
         router.dispatch(second, 1.0)  # earlier time, later seq: order kept
         assert network.delivered == []
-        batch = router.flush()
-        assert batch == [(2.0, 0, 1, first), (1.0, 1, 2, second)]
+        assert router.flush() == {1: [(2.0, 0, 1, first), (1.0, 1, 2, second)]}
 
     def test_flush_clears_but_seq_keeps_counting(self):
-        router = ShardRouter(FakeNetwork(), shard_id=0, lookup=self.LOOKUP)
+        router = ShardRouter(FakeNetwork(), shard_id=0, lookup=self.LOOKUP, wire="legacy")
         router.dispatch(message(0, 2), 1.0)
-        assert [seq for _, _, seq, _ in router.flush()] == [1]
+        assert [seq for _, _, seq, _ in router.flush()[1]] == [1]
         router.dispatch(message(0, 3), 2.0)
         # Seq is a per-shard lifetime counter: uniqueness must span windows.
-        assert [seq for _, _, seq, _ in router.flush()] == [2]
-        assert router.flush() == []
+        assert [seq for _, _, seq, _ in router.flush()[1]] == [2]
+        assert router.flush() == {}
+
+    def test_compact_flush_packs_batches_that_decode_exactly(self):
+        from repro.shard.wire import WireBatch, decode_batch
+
+        router = ShardRouter(FakeNetwork(), shard_id=0, lookup=self.LOOKUP)
+        first, second = message(0, 2), message(1, 3)
+        router.dispatch(first, 2.0)
+        router.dispatch(second, 1.0)
+        batches = router.flush()
+        assert set(batches) == {1}
+        assert isinstance(batches[1], WireBatch)
+        assert decode_batch(batches[1]) == [(2.0, 0, 1, first), (1.0, 1, 2, second)]
+
+    def test_batches_split_per_destination_shard(self):
+        lookup = [0, 1, 1, 2]  # three shards, shard 0 owns only node 0
+        router = ShardRouter(FakeNetwork(), shard_id=0, lookup=lookup, wire="legacy")
+        router.dispatch(message(0, 1), 1.0)
+        router.dispatch(message(0, 3), 2.0)
+        router.dispatch(message(0, 2), 3.0)
+        batches = router.flush()
+        assert set(batches) == {1, 2}
+        assert [d[3].receiver for d in batches[1]] == [1, 2]
+        assert [d[3].receiver for d in batches[2]] == [3]
+
+
+def owned_node(config, shard_id, index=0):
+    """The index-th node a shard owns under the config's partition."""
+    lookup = shard_lookup(config.num_nodes, config.shards)
+    owned = [n for n in range(config.num_nodes) if lookup[n] == shard_id]
+    return owned[index]
 
 
 class TestCoordinator:
@@ -84,49 +113,165 @@ class TestCoordinator:
         config = config or small_config()
         return _Coordinator(config, config.shards), config
 
-    def report(self, shard_id, bound, outbound=(), peek=None):
+    def report(self, shard_id, bound, outbound=None, peek=None):
         return WindowReport(
-            shard_id=shard_id, bound=bound, outbound=list(outbound), peek_time=peek
+            shard_id=shard_id,
+            bound=bound,
+            outbound=dict(outbound or {}),
+            peek_time=peek,
         )
+
+    def cross_datagram(self, config, deliver_time=2.0, seq=1):
+        """A valid shard-0 → shard-1 datagram under the config's partition."""
+        sender = owned_node(config, 0)
+        receiver = owned_node(config, 1)
+        return (deliver_time, sender, seq, message(sender, receiver))
 
     def test_wrong_report_count_rejected(self):
         coordinator, _ = self.coordinator()
         with pytest.raises(ShardProtocolError, match="expected 2 window reports"):
             coordinator.replies([self.report(0, 1.0)])
 
+    def test_invalid_shard_id_set_rejected(self):
+        coordinator, _ = self.coordinator()
+        with pytest.raises(ShardProtocolError, match="invalid shard ids"):
+            coordinator.replies([self.report(0, 1.0), self.report(0, 1.0)])
+
     def test_diverged_bounds_rejected(self):
         coordinator, _ = self.coordinator()
         with pytest.raises(ShardProtocolError, match="bounds diverged"):
             coordinator.replies([self.report(0, 1.0), self.report(1, 1.5)])
 
-    def test_bound_jumps_to_global_minimum_plus_lookahead(self):
+    def test_report_must_echo_the_issued_bound(self):
+        coordinator, config = self.coordinator()
+        first = coordinator.replies(
+            [self.report(0, 1.0, peek=5.0), self.report(1, 1.0, peek=5.0)]
+        )
+        with pytest.raises(ShardProtocolError, match="coordinator issued"):
+            coordinator.replies(
+                [
+                    self.report(0, first[0].next_bound + 0.5),
+                    self.report(1, first[1].next_bound),
+                ]
+            )
+
+    def test_bounds_widen_per_shard_beyond_global_minimum(self):
         coordinator, config = self.coordinator()
         lookahead = conservative_lookahead(config)
+        until = session_horizon(config)
         replies = coordinator.replies(
             [self.report(0, 1.0, peek=7.0), self.report(1, 1.0, peek=5.0)]
         )
-        assert all(reply.next_bound == 5.0 + lookahead for reply in replies)
+        old_common_bound = min(until, 5.0 + lookahead)
+        # Shard 0 is constrained by shard 1's earlier event (one hop away);
+        # shard 1 only by shard 0's event (one hop) or its own reflected
+        # traffic (two hops) — so its window is wider than the old global
+        # bound ever allowed.
+        assert replies[0].next_bound == min(until, 5.0 + lookahead, 7.0 + 2 * lookahead)
+        assert replies[1].next_bound == min(until, 7.0 + lookahead, 5.0 + 2 * lookahead)
+        assert replies[1].next_bound > old_common_bound
         assert not any(reply.done for reply in replies)
 
-    def test_in_flight_datagram_caps_the_bound(self):
+    def test_in_flight_datagram_caps_the_receiver_bound(self):
         coordinator, config = self.coordinator()
         lookahead = conservative_lookahead(config)
-        datagram = (2.0, 0, 1, message(0, 2))
+        until = session_horizon(config)
+        datagram = self.cross_datagram(config, deliver_time=2.0)
         replies = coordinator.replies(
-            [self.report(0, 1.0, outbound=[datagram], peek=9.0), self.report(1, 1.0)]
+            [
+                self.report(0, 1.0, outbound={1: [datagram]}, peek=9.0),
+                self.report(1, 1.0),
+            ]
         )
-        assert all(reply.next_bound == 2.0 + lookahead for reply in replies)
+        # The in-flight datagram makes 2.0 shard 1's effective pending time.
+        assert replies[0].next_bound == min(until, 2.0 + lookahead, 9.0 + 2 * lookahead)
+        assert replies[1].next_bound == min(until, 9.0 + lookahead, 2.0 + 2 * lookahead)
+
+    def test_single_shard_jumps_to_horizon_despite_pending_events(self):
+        config = small_config(shards=1)
+        coordinator = _Coordinator(config, 1)
+        replies = coordinator.replies([self.report(0, 1.0, peek=2.0)])
+        # No other shard can ever influence it: one window to the horizon.
+        assert replies[0].next_bound == session_horizon(config)
 
     def test_datagrams_route_to_receiver_shard(self):
         coordinator, config = self.coordinator()
-        lookup = shard_lookup(config.num_nodes, config.shards)
-        to_one = (2.0, 0, 1, message(0, 2))
-        assert lookup[2] == 1
+        to_one = self.cross_datagram(config)
         replies = coordinator.replies(
-            [self.report(0, 1.0, outbound=[to_one]), self.report(1, 1.0)]
+            [self.report(0, 1.0, outbound={1: [to_one]}), self.report(1, 1.0)]
         )
         assert replies[0].inbound == []
-        assert replies[1].inbound == [to_one]
+        assert replies[1].inbound == [[to_one]]
+
+    def test_compact_batches_forwarded_without_decoding(self):
+        from repro.shard.wire import encode_batch
+
+        coordinator, config = self.coordinator()
+        batch = encode_batch([self.cross_datagram(config)])
+        replies = coordinator.replies(
+            [self.report(0, 1.0, outbound={1: batch}), self.report(1, 1.0)]
+        )
+        assert replies[1].inbound == [batch]
+        assert replies[1].inbound[0] is batch
+
+    def test_unknown_receiver_named_in_error(self):
+        coordinator, config = self.coordinator()
+        sender = owned_node(config, 0)
+        bogus = (2.0, sender, 1, message(sender, 999))
+        with pytest.raises(ShardProtocolError, match="unknown receiver 999"):
+            coordinator.replies(
+                [self.report(0, 1.0, outbound={1: [bogus]}), self.report(1, 1.0)]
+            )
+
+    def test_misrouted_batch_named_in_error(self):
+        coordinator, config = self.coordinator()
+        sender = owned_node(config, 0)
+        local = owned_node(config, 0, index=1)
+        misrouted = (2.0, sender, 1, message(sender, local))
+        with pytest.raises(ShardProtocolError, match="misrouted datagram #0"):
+            coordinator.replies(
+                [self.report(0, 1.0, outbound={1: [misrouted]}), self.report(1, 1.0)]
+            )
+
+    def test_misrouted_compact_batch_detected_too(self):
+        from repro.shard.wire import encode_batch
+
+        coordinator, config = self.coordinator()
+        sender = owned_node(config, 0)
+        local = owned_node(config, 0, index=1)
+        batch = encode_batch([(2.0, sender, 1, message(sender, local))])
+        with pytest.raises(ShardProtocolError, match="misrouted datagram #0"):
+            coordinator.replies(
+                [self.report(0, 1.0, outbound={1: batch}), self.report(1, 1.0)]
+            )
+
+    def test_foreign_sender_rejected(self):
+        coordinator, config = self.coordinator()
+        intruder = owned_node(config, 1)  # shard 0 reporting shard 1's node
+        receiver = owned_node(config, 1, index=1)
+        forged = (2.0, intruder, 1, message(intruder, receiver))
+        with pytest.raises(ShardProtocolError, match="does not own"):
+            coordinator.replies(
+                [self.report(0, 1.0, outbound={1: [forged]}), self.report(1, 1.0)]
+            )
+
+    def test_invalid_destination_shard_rejected(self):
+        coordinator, config = self.coordinator()
+        datagram = self.cross_datagram(config)
+        with pytest.raises(ShardProtocolError, match="invalid shard 5"):
+            coordinator.replies(
+                [self.report(0, 1.0, outbound={5: [datagram]}), self.report(1, 1.0)]
+            )
+
+    def test_self_addressed_batch_rejected(self):
+        coordinator, config = self.coordinator()
+        sender = owned_node(config, 0)
+        local = owned_node(config, 0, index=1)
+        datagram = (2.0, sender, 1, message(sender, local))
+        with pytest.raises(ShardProtocolError, match="itself"):
+            coordinator.replies(
+                [self.report(0, 1.0, outbound={0: [datagram]}), self.report(1, 1.0)]
+            )
 
     def test_empty_system_jumps_straight_to_horizon(self):
         coordinator, config = self.coordinator()
@@ -140,7 +285,11 @@ class TestCoordinator:
         # Still moving a datagram at the horizon: not done.
         moving = coordinator.replies(
             [
-                self.report(0, until, outbound=[(until, 0, 1, message(0, 2))]),
+                self.report(
+                    0,
+                    until,
+                    outbound={1: [self.cross_datagram(config, deliver_time=until)]},
+                ),
                 self.report(1, until),
             ]
         )
@@ -161,7 +310,7 @@ class TestMergeShardResults:
     @pytest.fixture(scope="class")
     def run(self):
         config = small_config()
-        return config, _run_threaded(config, config.shards)
+        return config, _run_threaded(config, config.shards, "compact")
 
     def test_fragments_merge_cleanly(self, run):
         config, fragments = run
@@ -240,6 +389,10 @@ class TestRunShardedValidation:
         with pytest.raises(ValueError, match="unknown sharded runner mode"):
             run_sharded(small_config(), mode="fiber")
 
+    def test_rejects_unknown_wire_format(self):
+        with pytest.raises(ValueError, match="unknown wire format"):
+            run_sharded(small_config(), wire="msgpack")
+
     def test_argument_overrides_config_shard_count(self):
         result = run_sharded(small_config(shards=2), shards=1)
         assert result.config.shards == 1
@@ -255,10 +408,43 @@ class TestRunShardedValidation:
 
 
 class TestWorkerFailure:
-    def test_thread_worker_crash_surfaces_as_protocol_error(self, monkeypatch):
-        def explode(config, shard_id, num_shards, channel):
-            raise RuntimeError(f"shard {shard_id} corrupted")
+    def test_thread_worker_crash_reraises_original_and_joins(self, monkeypatch):
+        import threading
+
+        real = runner_module.run_shard_worker
+
+        def explode(config, shard_id, num_shards, channel, wire="compact"):
+            if shard_id == 1:
+                raise RuntimeError(f"shard {shard_id} corrupted")
+            return real(config, shard_id, num_shards, channel, wire=wire)
 
         monkeypatch.setattr(runner_module, "run_shard_worker", explode)
-        with pytest.raises(ShardProtocolError, match="worker failed"):
+        # The *original* worker exception surfaces, not a wrapped protocol
+        # error — the caller debugs the actual failure.
+        with pytest.raises(RuntimeError, match="shard 1 corrupted"):
             run_sharded(small_config(), mode="thread")
+        # abort() must join the survivors: a failed run in a long-lived
+        # process (pytest, sweeps) may not leak daemon threads blocked on
+        # queue.get().
+        leaked = [t for t in threading.enumerate() if t.name.startswith("shard-")]
+        assert leaked == []
+
+    def test_process_worker_death_raises_clean_protocol_error(self, monkeypatch):
+        import multiprocessing
+        import os
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("monkeypatched worker needs fork start method")
+
+        real = runner_module.run_shard_worker
+
+        def die(config, shard_id, num_shards, channel, wire="compact"):
+            if shard_id == 1:
+                os._exit(17)  # simulates an OOM-kill / hard crash
+            return real(config, shard_id, num_shards, channel, wire=wire)
+
+        monkeypatch.setattr(runner_module, "run_shard_worker", die)
+        with pytest.raises(ShardProtocolError, match="shard 1 died without reporting"):
+            run_sharded(small_config(), mode="process")
+        # No zombie workers left behind.
+        assert not [p for p in multiprocessing.active_children() if p.is_alive()]

@@ -1,0 +1,208 @@
+"""Unit tests for the compact wire format: layout limits, fallbacks, stats.
+
+The round-trip property suite (``tests/properties/test_wire_roundtrip``)
+pins exactness; these tests pin the edges the fuzzer rarely lands on — head
+fields that overflow the fixed-width columns, the pickle escape hatch, the
+corrupt-tag error path — and the size claim the whole tentpole exists for:
+a typical protocol batch serializes at least 2x smaller than pickling the
+equivalent ``Message`` objects.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.messages import (
+    FeedMePayload,
+    ProposePayload,
+    ServedPacket,
+    ServePayload,
+)
+from repro.network.message import Message
+from repro.shard.wire import (
+    WIRE_FORMATS,
+    WireBatch,
+    WireFormatError,
+    WireStats,
+    batch_length,
+    batch_nbytes,
+    check_wire_format,
+    decode_any,
+    decode_batch,
+    encode_batch,
+)
+
+
+def datagram(deliver_time=1.0, sender=0, seq=1, receiver=1, kind="propose", payload=None):
+    message = Message(sender, receiver, kind, 100, payload)
+    return (deliver_time, sender, seq, message)
+
+
+class TestLayoutLimits:
+    def test_empty_batch_round_trips(self):
+        encoded = encode_batch([])
+        assert len(encoded) == 0
+        assert encoded.kinds == ()
+        assert decode_batch(encoded) == []
+
+    def test_sender_beyond_u32_rejected(self):
+        with pytest.raises(WireFormatError, match="sender"):
+            encode_batch([datagram(sender=2**32)])
+
+    def test_huge_seq_values_fit_via_delta_encoding(self):
+        # Sequence numbers are a lifetime counter: absolute values beyond
+        # u32 are fine as long as the spread inside one batch stays narrow.
+        batch = [datagram(seq=2**40 + offset) for offset in range(3)]
+        assert decode_batch(encode_batch(batch)) == batch
+
+    def test_seq_spread_beyond_u32_rejected(self):
+        with pytest.raises(WireFormatError, match="seq delta"):
+            encode_batch([datagram(seq=0), datagram(seq=2**32)])
+
+    def test_size_beyond_u32_rejected(self):
+        bloated = (1.0, 0, 1, Message(0, 1, "serve", 2**32))
+        with pytest.raises(WireFormatError, match="size_bytes"):
+            encode_batch([bloated])
+
+    def test_kind_table_overflow_rejected(self):
+        batch = [datagram(seq=i, kind=f"kind-{i}") for i in range(257)]
+        with pytest.raises(WireFormatError, match="256 distinct message kinds"):
+            encode_batch(batch)
+
+    def test_corrupt_tag_rejected_on_decode(self):
+        encoded = encode_batch([datagram()])
+        # The payload tag is the last byte of the (single) head record.
+        head = bytearray(encoded.head)
+        head[-1] = 200
+        corrupt = WireBatch(
+            encoded.count,
+            encoded.kinds,
+            encoded.seq_base,
+            encoded.widths,
+            bytes(head),
+            encoded.aux,
+            encoded.ids,
+            encoded.blob,
+        )
+        with pytest.raises(WireFormatError, match="unknown payload tag"):
+            decode_batch(corrupt)
+
+
+class TestFallbacks:
+    def test_oversized_packet_ids_fall_back_to_pickle(self):
+        payload = ProposePayload((2**40,))  # id column is u32; must still work
+        batch = [datagram(payload=payload)]
+        assert decode_batch(encode_batch(batch)) == batch
+
+    def test_foreign_payload_type_falls_back_to_pickle(self):
+        batch = [datagram(kind="custom", payload={"window": 3, "bitmap": b"\x01"})]
+        assert decode_batch(encode_batch(batch)) == batch
+
+    def test_serve_with_and_without_payload_bytes(self):
+        with_bytes = datagram(
+            seq=1, kind="serve", payload=ServePayload(ServedPacket(7, 1200, b"x" * 32))
+        )
+        without = datagram(
+            seq=2, kind="serve", payload=ServePayload(ServedPacket(8, 1200))
+        )
+        batch = [with_bytes, without]
+        assert decode_batch(encode_batch(batch)) == batch
+
+
+class TestHelpers:
+    def test_batch_length_spans_both_formats(self):
+        legacy = [datagram(seq=1), datagram(seq=2)]
+        assert batch_length(legacy) == 2
+        assert batch_length(encode_batch(legacy)) == 2
+
+    def test_decode_any_spans_both_formats(self):
+        legacy = [datagram()]
+        assert decode_any(legacy) == legacy
+        assert decode_any(encode_batch(legacy)) == legacy
+
+    def test_batch_nbytes_is_exact_for_compact_and_pickle_for_legacy(self):
+        legacy = [datagram()]
+        encoded = encode_batch(legacy)
+        assert batch_nbytes(encoded) == encoded.nbytes
+        assert batch_nbytes(legacy) == len(
+            pickle.dumps(legacy, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def test_check_wire_format(self):
+        for wire in WIRE_FORMATS:
+            assert check_wire_format(wire) == wire
+        with pytest.raises(ValueError, match="unknown wire format"):
+            check_wire_format("json")
+
+
+class TestWireStats:
+    def test_accumulates_and_resets(self):
+        stats = WireStats()
+        stats.record_window(2, 10, 500)
+        stats.record_window(1, 5, 200)
+        assert stats.snapshot() == {
+            "windows": 2,
+            "batches": 3,
+            "datagrams": 15,
+            "wire_bytes": 700,
+        }
+        stats.reset()
+        assert stats.snapshot()["windows"] == 0
+
+
+class TestSizeClaim:
+    def test_typical_protocol_batch_is_at_least_2x_smaller_than_pickle(self):
+        # A realistic window mix: propose/request bursts and serve streams,
+        # the three kinds that dominate cross-shard traffic in every
+        # registered scenario.
+        batch = []
+        seq = 0
+        for sender in range(8):
+            for receiver in range(8, 12):
+                seq += 1
+                batch.append(
+                    (
+                        0.5 + seq * 0.01,
+                        sender,
+                        seq,
+                        Message(
+                            sender,
+                            receiver,
+                            "propose",
+                            120,
+                            ProposePayload(tuple(range(seq, seq + 5))),
+                        ),
+                    )
+                )
+                seq += 1
+                batch.append(
+                    (
+                        0.6 + seq * 0.01,
+                        sender,
+                        seq,
+                        Message(
+                            sender,
+                            receiver,
+                            "serve",
+                            1340,
+                            ServePayload(ServedPacket(seq, 1340)),
+                        ),
+                    )
+                )
+                seq += 1
+                batch.append(
+                    (
+                        0.7 + seq * 0.01,
+                        sender,
+                        seq,
+                        Message(sender, receiver, "feed-me", 64, FeedMePayload(sender)),
+                    )
+                )
+        encoded = encode_batch(batch)
+        pickled = len(pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL))
+        assert decode_batch(encoded) == batch
+        # The acceptance bar: >= 2x fewer serialized bytes per datagram.
+        assert encoded.nbytes * 2 <= pickled, (
+            f"compact={encoded.nbytes}B pickle={pickled}B "
+            f"ratio={pickled / encoded.nbytes:.2f}"
+        )
