@@ -23,11 +23,16 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import time
 
 from repro import GossipConfig, NetworkConfig, SessionConfig, StreamConfig, run_session
 from repro.metrics.quality import OFFLINE_LAG
 from repro.metrics.report import Series, format_series_table
+
+# Smoke hook for the example test suite: REPRO_EXAMPLE_SMOKE=1 shrinks the
+# scale so every example finishes in a couple of seconds.
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
 
 
 def run_sweep(num_nodes: int, fanouts: list, cap_kbps: float, seed: int) -> dict:
@@ -37,7 +42,7 @@ def run_sweep(num_nodes: int, fanouts: list, cap_kbps: float, seed: int) -> dict
         payload_bytes=1000,
         source_packets_per_window=20,
         fec_packets_per_window=2,
-        num_windows=60,
+        num_windows=8 if SMOKE else 60,
     )
     offline = Series(label=f"offline, {cap_kbps:.0f}kbps")
     ten_second = Series(label=f"10s lag, {cap_kbps:.0f}kbps")
@@ -69,9 +74,14 @@ def main() -> None:
     parser.add_argument("--nodes", type=int, default=40, help="system size including the source")
     parser.add_argument("--seed", type=int, default=7, help="root random seed")
     arguments = parser.parse_args()
+    if SMOKE:
+        arguments.nodes = min(arguments.nodes, 20)
 
     threshold = math.log(arguments.nodes)
-    fanouts = [2, 4, 6, 8, 12, 20, min(30, arguments.nodes - 2)]
+    if SMOKE:
+        fanouts = [3, 8]
+    else:
+        fanouts = [2, 4, 6, 8, 12, 20, min(30, arguments.nodes - 2)]
     print(f"System size n = {arguments.nodes}; ln(n) = {threshold:.1f}")
     print(f"Sweeping fanouts {fanouts} under 700 and 2000 kbps caps\n")
 

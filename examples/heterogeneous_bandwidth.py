@@ -22,11 +22,16 @@ Run with::
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro import StreamConfig
 from repro.metrics.report import format_table
 from repro.scenarios import build_scenario, run_spec
+
+# Smoke hook for the example test suite: REPRO_EXAMPLE_SMOKE=1 shrinks the
+# scale so every example finishes in a couple of seconds.
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
 
 
 def build_stream() -> StreamConfig:
@@ -35,7 +40,7 @@ def build_stream() -> StreamConfig:
         payload_bytes=1000,
         source_packets_per_window=20,
         fec_packets_per_window=2,
-        num_windows=60,
+        num_windows=8 if SMOKE else 60,
     )
 
 
@@ -62,7 +67,7 @@ def summarize(label: str, result, caps=None) -> list:
 
 
 def main() -> None:
-    num_nodes = 40
+    num_nodes = 16 if SMOKE else 40
     seed = 31
     print(f"Comparing capacity distributions over {num_nodes} nodes (600 kbps stream, fanout 7)\n")
 

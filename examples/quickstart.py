@@ -19,24 +19,29 @@ Run with::
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro import OFFLINE_LAG, StreamConfig, available_scenarios
 from repro.metrics.report import format_table
 from repro.scenarios import build_scenario, run_spec
 
+# Smoke hook for the example test suite: REPRO_EXAMPLE_SMOKE=1 shrinks the
+# scale so every example finishes in a couple of seconds.
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
+
 
 def main() -> None:
     spec = build_scenario(
         "homogeneous",
-        num_nodes=40,
+        num_nodes=16 if SMOKE else 40,
         seed=2024,
         stream=StreamConfig(
             rate_kbps=600.0,
             payload_bytes=1000,
             source_packets_per_window=20,
             fec_packets_per_window=2,
-            num_windows=60,
+            num_windows=8 if SMOKE else 60,
         ),
     )
 

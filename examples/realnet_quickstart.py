@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Real-network quickstart: the same gossip protocol over real UDP sockets.
+
+Runs a small streaming session twice — once on the discrete-event
+simulator and once over actual asyncio UDP datagram endpoints on localhost
+(``repro.realnet``) — and prints the sim-vs-real agreement report.  The
+protocol code is byte-for-byte the same in both runs: nodes schedule
+against the :class:`~repro.core.host.Host` interface, and only the
+execution substrate changes underneath them.
+
+The real run executes on the wall clock: ``time_scale`` wall seconds per
+virtual second, so the default below finishes a ~6 virtual-second session
+in about 3 wall seconds.  See ``docs/realnet.md`` for the contract and the
+wall-clock caveats.
+
+Run with::
+
+    python examples/realnet_quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import GossipConfig, NetworkConfig, SessionConfig, StreamConfig
+from repro.realnet import RealNetConfig, RealNetSession, compare_backends
+
+# Smoke hook for the example test suite: REPRO_EXAMPLE_SMOKE=1 shrinks the
+# scale so every example finishes in a couple of seconds.
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
+
+
+def build_config() -> SessionConfig:
+    """A session small enough for a localhost socket fleet."""
+    return SessionConfig(
+        num_nodes=8 if SMOKE else 12,
+        seed=7,
+        gossip=GossipConfig(fanout=5, refresh_every=1),
+        stream=StreamConfig(
+            rate_kbps=600.0,
+            payload_bytes=1000,
+            source_packets_per_window=20,
+            fec_packets_per_window=2,
+            num_windows=2 if SMOKE else 4,
+        ),
+        network=NetworkConfig(upload_cap_kbps=700.0, max_backlog_seconds=10.0),
+        extra_time=4.0 if SMOKE else 5.0,
+    )
+
+
+def main() -> None:
+    config = build_config()
+    realnet = RealNetConfig(time_scale=0.25 if SMOKE else 0.5)
+    horizon = config.stream.duration + config.extra_time
+
+    print(
+        f"Streaming to {config.num_nodes} nodes over real UDP sockets "
+        f"({horizon:.1f} virtual seconds at time_scale={realnet.time_scale})..."
+    )
+    started = time.time()
+    result = RealNetSession(config, realnet).run()
+    print(
+        f"Real run done in {time.time() - started:.1f}s wall: "
+        f"delivery {result.delivery_ratio():.1%}, "
+        f"viewing@10s {result.viewing_percentage(lag=10.0):.1f}%, "
+        f"{result.events_processed:,} callbacks dispatched.\n"
+    )
+
+    print("Running the simulator on the identical config and diffing the metrics...")
+    report = compare_backends(config, realnet)
+    print(report.format_text())
+    print(
+        "\nBoth backends share the upload limiter, loss and latency physics;\n"
+        "what differs is the execution substrate — and the deltas above are\n"
+        "the measure of how little that matters."
+    )
+    if not report.passed():
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -524,7 +524,7 @@ def run_sharded_session(ctx: BenchContext) -> dict:
     run must be byte-identical to the scalar run of the same config.
     Wall-clock numbers are info-only — on the 1-core CI runner the window
     protocol is pure overhead and the "speedup" is expected to be *below*
-    one (see the README's performance notes).
+    one (see docs/performance.md).
     """
     from repro.scenarios import build_scenario
     from repro.scenarios.builder import SessionBuilder

@@ -18,6 +18,7 @@ Public API sketch::
 """
 
 from repro.core.config import GossipConfig, MessageSizeModel
+from repro.core.host import Host, ScheduledHandle
 from repro.core.messages import (
     FEED_ME,
     PROPOSE,
@@ -38,6 +39,7 @@ __all__ = [
     "FeedMePayload",
     "GossipConfig",
     "GossipNode",
+    "Host",
     "MessageSizeModel",
     "NodeState",
     "NodeStats",
@@ -47,6 +49,7 @@ __all__ = [
     "REQUEST",
     "RequestPayload",
     "SERVE",
+    "ScheduledHandle",
     "ServePayload",
     "ServedPacket",
     "SessionConfig",

@@ -33,12 +33,12 @@ from repro.membership.partners import INFINITE, PartnerSelector
 from repro.network.message import Message, NodeId
 from repro.network.transport import Network
 from repro.protocols.base import DisseminationProtocol
-from repro.simulation.engine import Simulator
 from repro.simulation.timers import PeriodicTimer
 from repro.streaming.packets import PacketDescriptor, PacketId
 from repro.streaming.schedule import StreamSchedule
 
 from repro.core.config import GossipConfig
+from repro.core.host import Host
 from repro.core.state import NodeState
 
 DeliveryListener = Callable[[NodeId, PacketId, float], None]
@@ -105,7 +105,7 @@ class GossipNode:
     def __init__(
         self,
         node_id: NodeId,
-        simulator: Simulator,
+        simulator: Host,
         network: Network,
         directory: MembershipDirectory,
         schedule: StreamSchedule,
@@ -192,14 +192,19 @@ class GossipNode:
         return self._partners
 
     @property
-    def simulator(self) -> Simulator:
-        """The simulator this node runs on (exposed for protocol strategies)."""
+    def simulator(self) -> Host:
+        """The host this node runs on (exposed for protocol strategies).
+
+        A :class:`~repro.simulation.engine.Simulator` in simulated runs, an
+        :class:`~repro.realnet.host.AsyncioHost` on the real backend — the
+        node only relies on the :class:`~repro.core.host.Host` surface.
+        """
         return self._simulator
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
-        return self._simulator._clock._now  # flattened: read on every message
+        """Current time on the host's time axis."""
+        return self._simulator.now
 
     @property
     def schedule(self) -> StreamSchedule:

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.realnet``."""
+
+import sys
+
+from repro.realnet.cli import main
+
+sys.exit(main())

@@ -1,0 +1,18 @@
+"""Exception types of the real-network backend."""
+
+from __future__ import annotations
+
+
+class RealNetError(RuntimeError):
+    """Base class for real-network backend failures."""
+
+
+class RealNetStateError(RealNetError):
+    """An operation was attempted in the wrong host lifecycle phase."""
+
+
+class CodecError(RealNetError):
+    """A datagram could not be encoded to or decoded from the wire."""
+
+
+__all__ = ["CodecError", "RealNetError", "RealNetStateError"]

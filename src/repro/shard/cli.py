@@ -157,6 +157,7 @@ def _run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.shard``."""
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command == "run":

@@ -160,6 +160,7 @@ class ShardRouter(DatagramRouter):
         self._wire = check_wire_format(wire)
 
     def dispatch(self, message: Message, deliver_time: float) -> None:
+        """Deliver locally or queue the message for its destination shard."""
         dest = self._lookup[message.receiver]
         if dest == self._shard_id:
             self._network.schedule_delivery(message, deliver_time)

@@ -5,7 +5,7 @@ original runner pickled each window's ``RoutedDatagram`` list — one
 :class:`~repro.network.message.Message` object per datagram, each dragging
 its dataclass machinery, ``kind`` string and payload object graph through
 the pickler.  At metropolis scale that tax dominated the cross-shard path
-(README "Performance", ROADMAP item 1).
+(docs/performance.md, ROADMAP item 1).
 
 This module replaces the object batch with a *columnar* encoding,
 :class:`WireBatch`: per-datagram head records packed into one ``struct``
@@ -508,6 +508,7 @@ class WireStats:
         self.reset()
 
     def reset(self) -> None:
+        """Zero every counter (start of a run)."""
         with self._lock:
             self.windows = 0
             self.batches = 0
@@ -515,6 +516,7 @@ class WireStats:
             self.wire_bytes = 0
 
     def record_window(self, batches: int, datagrams: int, wire_bytes: int) -> None:
+        """Fold one window exchange's counts into the totals."""
         with self._lock:
             self.windows += 1
             self.batches += batches
@@ -522,6 +524,7 @@ class WireStats:
             self.wire_bytes += wire_bytes
 
     def snapshot(self) -> Dict[str, int]:
+        """Copy the counters out under the lock."""
         with self._lock:
             return {
                 "windows": self.windows,

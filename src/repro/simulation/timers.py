@@ -6,14 +6,19 @@ The gossip protocol uses two kinds of timers:
   gossip round (``PeriodicTimer``);
 * **retransmission timers** — one-shot timers armed when a node requests
   packets and cancelled when the packets arrive (``Timer``).
+
+Both are written against the :class:`~repro.core.host.Host` surface
+(``schedule`` returning a cancellable handle, plus ``rng`` for jitter), so
+the same timer objects drive nodes on the discrete-event simulator and on
+the real-network asyncio backend (:mod:`repro.realnet`) unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.simulation.engine import Simulator
-from repro.simulation.event_queue import EventHandle
+if TYPE_CHECKING:  # imported for type hints only: core sits above this layer
+    from repro.core.host import Host, ScheduledHandle
 
 
 class Timer:
@@ -25,10 +30,10 @@ class Timer:
 
     __slots__ = ("_simulator", "_callback", "_handle", "_fired")
 
-    def __init__(self, simulator: Simulator, callback: Callable[[], None]) -> None:
+    def __init__(self, simulator: "Host", callback: Callable[[], None]) -> None:
         self._simulator = simulator
         self._callback = callback
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional["ScheduledHandle"] = None
         self._fired = False
 
     @property
@@ -97,7 +102,7 @@ class PeriodicTimer:
 
     def __init__(
         self,
-        simulator: Simulator,
+        simulator: "Host",
         period: float,
         callback: Callable[[], None],
         start_delay: Optional[float] = None,
@@ -112,7 +117,7 @@ class PeriodicTimer:
         self._callback = callback
         self._start_delay = period if start_delay is None else float(start_delay)
         self._jitter = float(jitter)
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional["ScheduledHandle"] = None
         self._fire_count = 0
         self._running = False
 

@@ -57,7 +57,7 @@ _MUL_TABLE = _build_mul_tables()
 
 _NUMPY_MIN_CELLS = 1 << 20
 """Minimum ``num_rows * shard_length`` before the numpy codec kernel is
-consulted.  Measured result (see README "Backends"): ``bytes.translate`` +
+consulted.  Measured result (see docs/performance.md "Backends"): ``bytes.translate`` +
 big-int XOR runs at ~1.5 ns/byte on CPython 3.11 while numpy's fancy-index
 gather costs ~3 ns/byte at the paper's (101, 9, 1400 B) window shape, so
 the scalar bulk path keeps every realistic product; the numpy kernel stays

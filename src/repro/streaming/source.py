@@ -13,12 +13,13 @@ plugged in without touching the gossip code.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
-
-from repro.simulation.engine import Simulator
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.streaming.packets import PacketDescriptor
 from repro.streaming.schedule import StreamSchedule
+
+if TYPE_CHECKING:  # type hints only: the emitter runs on any Host
+    from repro.core.host import Host
 
 PublishCallback = Callable[[PacketDescriptor], None]
 
@@ -29,7 +30,7 @@ class StreamEmitter:
     Parameters
     ----------
     simulator:
-        Simulator to schedule publications on.
+        Host (simulator or real-network backend) to schedule publications on.
     schedule:
         The packet schedule to emit.
     on_publish:
@@ -43,7 +44,7 @@ class StreamEmitter:
 
     def __init__(
         self,
-        simulator: Simulator,
+        simulator: "Host",
         schedule: StreamSchedule,
         on_publish: PublishCallback,
         payload_factory: Optional[Callable[[PacketDescriptor], bytes]] = None,

@@ -1,0 +1,69 @@
+"""Tests for the ``python -m repro.realnet`` command line."""
+
+import json
+
+import pytest
+
+from repro.realnet.cli import main
+
+# CLI smoke scenarios: tiny stream, 4x wall clock.
+RUN_ARGS = [
+    "--scenario", "homogeneous",
+    "--nodes", "8",
+    "--windows", "2",
+    "--extra-time", "4",
+    "--time-scale", "0.25",
+    "--seed", "3",
+]
+
+
+class TestRunCommand:
+    def test_plain_run_succeeds(self, capsys):
+        assert main(["run", *RUN_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "delivery=" in out
+
+    def test_run_writes_artifacts(self, tmp_path, capsys):
+        rc = main(["run", *RUN_ARGS, "--run-dir", str(tmp_path), "--trace"])
+        assert rc == 0
+        run_dirs = list(tmp_path.iterdir())
+        assert len(run_dirs) == 1
+        artifacts = {path.name for path in run_dirs[0].iterdir()}
+        assert artifacts == {"delivery.jsonl", "summary.json", "trace.jsonl"}
+        summary = json.loads((run_dirs[0] / "summary.json").read_text())
+        assert summary["backend"] == "realnet-asyncio"
+        assert summary["num_nodes"] == 8
+
+    def test_trace_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            main(["run", *RUN_ARGS, "--trace"])
+
+    def test_delivery_gate_failure_exits_nonzero(self, capsys):
+        # A ratio above 1.0 is unreachable; the gate must trip.
+        rc = main(["run", *RUN_ARGS, "--assert-delivery-ratio", "1.5"])
+        assert rc == 1
+        assert "DELIVERY GATE FAILED" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            main(["run", "--scenario", "no-such-scenario"])
+
+    def test_bad_time_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--time-scale", "0"])
+
+
+class TestCompareCommand:
+    def test_compare_table(self, capsys):
+        rc = main(["compare", *RUN_ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delivery-ratio gate" in out
+        assert "PASS" in out
+
+    def test_compare_json(self, capsys):
+        rc = main(["compare", *RUN_ARGS, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is True
+        assert any(entry["name"] == "delivery_ratio" for entry in doc["metrics"])

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Documentation checker: code blocks must parse, links must resolve.
+
+Run from the repository root (CI's ``docs`` job does)::
+
+    python tools/check_docs.py
+
+Checks, over ``README.md`` and ``docs/*.md``:
+
+1. every fenced ```` ```python ```` code block compiles (syntax check via
+   ``compile()`` — blocks are never executed, so they may reference
+   optional scale or name their own files);
+2. every relative markdown link points at a file that exists in the tree;
+3. every anchored link (``docs/foo.md#section`` or ``#section``) matches a
+   heading in the target document, using GitHub's slugging rules.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+# Inline markdown links; images excluded via the negative lookbehind.
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+def doc_files() -> List[Path]:
+    """The documents under check: the README plus the docs tree."""
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def iter_code_blocks(text: str) -> Iterator[Tuple[int, str, str]]:
+    """Yield ``(first_line_number, language, source)`` per fenced block."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE.match(lines[i])
+        if match is None:
+            i += 1
+            continue
+        language = match.group(1)
+        start = i + 1
+        i = start
+        while i < len(lines) and not lines[i].startswith("```"):
+            i += 1
+        yield start + 1, language, "\n".join(lines[start:i])
+        i += 1
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    # Drop inline code/link markup, lowercase, keep word chars and hyphens.
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    """Every anchor a markdown document exposes (fenced blocks excluded)."""
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match is not None:
+            slugs.add(github_slug(match.group(2)))
+    return slugs
+
+
+def check_code_blocks(path: Path, problems: List[str]) -> int:
+    """Compile every python block; returns how many were checked."""
+    checked = 0
+    for line_number, language, source in iter_code_blocks(path.read_text(encoding="utf-8")):
+        if language != "python":
+            continue
+        checked += 1
+        try:
+            compile(source, f"{path.name}:{line_number}", "exec")
+        except SyntaxError as exc:
+            problems.append(
+                f"{path.relative_to(ROOT)}:{line_number}: python block does not "
+                f"parse: {exc.msg} (block line {exc.lineno})"
+            )
+    return checked
+
+
+def check_links(path: Path, problems: List[str]) -> int:
+    """Resolve every relative link and anchor; returns how many were checked."""
+    checked = 0
+    text = path.read_text(encoding="utf-8")
+    # Strip fenced blocks so shell snippets cannot produce false links.
+    stripped = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            stripped.append(line)
+    for target in LINK.findall("\n".join(stripped)):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        checked += 1
+        file_part, _, anchor = target.partition("#")
+        resolved = path if not file_part else (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(ROOT)}: broken link target {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_slugs(resolved):
+                problems.append(
+                    f"{path.relative_to(ROOT)}: link {target!r} names a heading "
+                    f"that does not exist in {resolved.name}"
+                )
+    return checked
+
+
+def main() -> int:
+    problems: List[str] = []
+    blocks = links = 0
+    files = doc_files()
+    for path in files:
+        blocks += check_code_blocks(path, problems)
+        links += check_links(path, problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    status = "FAILED" if problems else "ok"
+    print(
+        f"docs check {status}: {len(files)} files, {blocks} python blocks "
+        f"compiled, {links} links resolved, {len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
